@@ -1,0 +1,32 @@
+"""Figure 5 — runtime breakdown of MIPS vs Smart-PGSim."""
+
+import pytest
+
+from repro.core import breakdown_from_evaluation
+
+
+def test_bench_fig5_breakdown(benchmark, frameworks):
+    def evaluate_and_break_down():
+        out = {}
+        for name, fw in frameworks.items():
+            out[name] = breakdown_from_evaluation(fw.online_evaluate())
+        return out
+
+    breakdowns = benchmark.pedantic(evaluate_and_break_down, rounds=1, iterations=1)
+
+    print("\nFigure 5 — normalised runtime breakdown (fractions of the MIPS-only total)")
+    print(f"{'system':>8} {'preproc':>8} {'newton':>8} {'MTL inf':>8} {'restart':>8} {'total':>8}")
+    for name, bd in breakdowns.items():
+        norm = bd.normalized()
+        print(
+            f"{name:>8} {norm['preprocess']:>8.3f} {norm['newton_update']:>8.3f} "
+            f"{norm['inference']:>8.3f} {norm['restart']:>8.3f} {norm['smart_pgsim_total']:>8.3f}"
+        )
+
+    for name, bd in breakdowns.items():
+        norm = bd.normalized()
+        # Smart-PGSim's total is well below the MIPS-only bar (the Fig. 5 story)...
+        assert norm["smart_pgsim_total"] < 0.9
+        # ...and the Newton update dominates its remaining runtime, with the MTL
+        # inference being a small extra overhead.
+        assert norm["newton_update"] > norm["inference"]

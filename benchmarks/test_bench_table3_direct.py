@@ -1,0 +1,46 @@
+"""Table III — direct-prediction comparison (speedup factor SF and cost loss).
+
+Evaluates the Zamzam-style usage of the network (prediction *is* the answer,
+no solver) with the paper's SF and L_cost metrics, and contrasts it with the
+warm-start pipeline: the direct mode is far faster but pays a non-zero
+optimality/feasibility gap, which is exactly the argument for Smart-PGSim's
+design.
+"""
+
+import pytest
+
+from repro.core import DirectPredictionBaseline
+
+
+def test_bench_table3_direct_prediction(benchmark, frameworks):
+    def evaluate_all():
+        reports = {}
+        for name, fw in frameworks.items():
+            baseline = DirectPredictionBaseline(fw.artifacts.trainer, fw.opf_model)
+            reports[name] = baseline.evaluate(fw.artifacts.validation_set)
+        return reports
+
+    reports = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+
+    print("\nTable III — direct prediction (no solver refinement)")
+    print(f"{'system':>8} {'SF':>10} {'Lcost %':>9} {'max |g| p.u.':>13}")
+    for name, report in reports.items():
+        print(
+            f"{name:>8} {report.speedup_factor:>10.1f} {report.cost_loss_pct:>9.4f} "
+            f"{report.feasibility_violation:>13.4f}"
+        )
+
+    for name, report in reports.items():
+        # SF is orders of magnitude above the end-to-end SU (Table III vs Fig. 4a).
+        assert report.speedup_factor > 20
+        # The direct answer is close to, but not exactly, the optimum.
+        assert report.cost_loss_pct < 20.0
+        # And it is not exactly feasible — the reason the paper refines it with MIPS.
+        assert report.feasibility_violation > 1e-6
+
+
+def test_bench_table3_inference_latency(benchmark, framework14):
+    """Benchmark single-problem inference, the denominator of the SF metric."""
+    trainer = framework14.artifacts.trainer
+    dataset = framework14.artifacts.validation_set
+    benchmark(lambda: trainer.predict_physical(dataset.inputs[:1]))

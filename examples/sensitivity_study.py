@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Reproduce the Table I sensitivity study on a chosen test system.
+
+The study initialises the MIPS solver with every combination of precise
+(ground-truth) and imprecise (default) values of the four warm-start signals
+``X, λ, µ, Z`` and reports the success rate and speedup of each combination —
+the analysis that drives the MTL design (feature prioritisation and the
+physics-dependent hierarchy).
+
+Usage::
+
+    python examples/sensitivity_study.py [case9|case14|case30s] [n_scenarios]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import run_sensitivity_study
+from repro.grid import get_case
+
+
+def main() -> None:
+    case_name = sys.argv[1] if len(sys.argv) > 1 else "case9"
+    n_scenarios = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+
+    case = get_case(case_name)
+    print(f"Sensitivity study on {case.name} with {n_scenarios} sampled scenarios")
+    print("(0 = imprecise solver default, 1 = precise ground-truth value)\n")
+
+    report = run_sensitivity_study(case, n_scenarios=n_scenarios, seed=0)
+
+    header = f"{'X':>3} {'lam':>4} {'mu':>3} {'Z':>3} | {'SR %':>6} {'SU':>6} {'iters':>7}"
+    print(header)
+    print("-" * len(header))
+    for row in report.as_table():
+        su = "  -  " if row["speedup"] is None else f"{row['speedup']:5.2f}"
+        print(
+            f"{row['X']:>3} {row['lambda']:>4} {row['mu']:>3} {row['Z']:>3} | "
+            f"{row['success_rate_pct']:>6.1f} {su:>6} {row['mean_iterations']:>7.1f}"
+        )
+
+    full = report.row("1111")
+    baseline = report.row("0000")
+    print(
+        f"\nAll-precise warm start (case XVI): {full.mean_iterations:.1f} iterations vs "
+        f"{baseline.mean_iterations:.1f} for the default start "
+        f"({full.speedup:.2f}x speedup at {100 * full.success_rate:.0f}% success rate)."
+    )
+    print("Observation 1: precise X alone preserves a 100% success rate; "
+          "λ, µ and Z add speed once X is accurate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Smart-PGSim reproduction library.
+
+A from-scratch Python implementation of *Smart-PGSim: Using Neural Network to
+Accelerate AC-OPF Power Grid Simulation* (SC 2020): the AC-OPF formulation and
+MIPS primal-dual interior-point solver, a NumPy neural-network stack, the
+physics-informed multitask-learning warm-start model and the full evaluation
+harness (sensitivity study, speedup/accuracy metrics, scaling experiments).
+
+Typical usage::
+
+    from repro.grid import get_case
+    from repro.core import SmartPGSim, SmartPGSimConfig
+
+    framework = SmartPGSim(get_case("case14"), SmartPGSimConfig(n_samples=100))
+    framework.offline()
+    evaluation = framework.online_evaluate()
+    print(evaluation.speedup, evaluation.success_rate)
+"""
+
+from repro import core, data, grid, mips, mtl, nn, opf, parallel, powerflow, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "grid",
+    "powerflow",
+    "mips",
+    "opf",
+    "nn",
+    "mtl",
+    "data",
+    "core",
+    "parallel",
+    "utils",
+    "__version__",
+]

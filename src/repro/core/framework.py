@@ -1,0 +1,297 @@
+"""The Smart-PGSim framework: offline training phase and online acceleration.
+
+``SmartPGSim`` ties the substrates together exactly as Fig. 1 of the paper
+describes:
+
+* **offline** — sample load scenarios, solve them with MIPS to collect ground
+  truth, train the physics-informed MTL model;
+* **online** — for a new problem, run MTL inference to obtain a warm-start
+  point, hand it to MIPS, and fall back to the default start if the
+  warm-started run fails, so the workflow always converges.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.metrics import iteration_reduction, speedup_su, success_rate
+from repro.data.dataset import OPFDataset, TASK_NAMES, generate_dataset
+from repro.grid.components import Case
+from repro.mtl.config import MTLConfig, fast_config
+from repro.mtl.model import SmartPGSimMTL, TaskDimensions
+from repro.mtl.separate import SeparateTaskNetworks
+from repro.mtl.trainer import MTLTrainer, TrainingHistory
+from repro.opf.model import OPFModel
+from repro.opf.solver import OPFOptions, solve_opf
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("core")
+
+
+@dataclass(frozen=True)
+class SmartPGSimConfig:
+    """Configuration of one offline/online experiment."""
+
+    n_samples: int = 120
+    train_fraction: float = 0.8
+    load_variation: float = 0.1
+    seed: int = 0
+    #: ``"mtl"`` (shared trunk) or ``"separate"`` (per-task networks baseline).
+    model_type: str = "mtl"
+    use_physics: bool = True
+    mtl: MTLConfig = field(default_factory=fast_config)
+    opf: OPFOptions = field(default_factory=OPFOptions)
+
+    def __post_init__(self) -> None:
+        if self.model_type not in ("mtl", "separate"):
+            raise ValueError("model_type must be 'mtl' or 'separate'")
+        if self.n_samples < 5:
+            raise ValueError("need at least 5 samples to train and validate")
+        if not 0 < self.train_fraction < 1:
+            raise ValueError("train_fraction must be in (0, 1)")
+
+
+@dataclass
+class OfflineArtifacts:
+    """Everything produced by the offline phase."""
+
+    dataset: OPFDataset
+    train_set: OPFDataset
+    validation_set: OPFDataset
+    trainer: MTLTrainer
+    history: TrainingHistory
+    dataset_seconds: float
+    training_seconds: float
+
+
+@dataclass(frozen=True)
+class OnlineRecord:
+    """Outcome of one online (warm-started) problem."""
+
+    scenario_id: int
+    success: bool
+    used_fallback: bool
+    iterations_warm: int
+    iterations_cold: float
+    inference_seconds: float
+    warm_solve_seconds: float
+    cold_solve_seconds: float
+    restart_seconds: float
+    cost_warm: float
+    cost_cold: float
+
+
+@dataclass
+class OnlineEvaluation:
+    """Aggregated online results for one test system (Fig. 4 / Fig. 5 data)."""
+
+    case_name: str
+    records: List[OnlineRecord] = field(default_factory=list)
+
+    @property
+    def n_problems(self) -> int:
+        """Number of evaluated problems."""
+        return len(self.records)
+
+    @property
+    def success_rate(self) -> float:
+        """Warm-start success rate before any restart (Fig. 4c)."""
+        return success_rate([r.success for r in self.records])
+
+    @property
+    def speedup(self) -> float:
+        """End-to-end speedup SU of Eqn. 10 over the evaluation set (Fig. 4a)."""
+        t_mips = float(np.mean([r.cold_solve_seconds for r in self.records]))
+        t_mtl = float(np.mean([r.inference_seconds for r in self.records]))
+        t_warm = float(np.mean([r.warm_solve_seconds for r in self.records if r.success] or [t_mips]))
+        return speedup_su(t_mips, t_mtl, t_warm, self.success_rate)
+
+    @property
+    def iteration_ratio(self) -> float:
+        """Warm-start iterations as a fraction of cold-start iterations (Fig. 4b)."""
+        return iteration_reduction(
+            [r.iterations_cold for r in self.records],
+            [r.iterations_warm for r in self.records if r.success] or [r.iterations_cold for r in self.records],
+        )
+
+    @property
+    def mean_iterations_warm(self) -> float:
+        """Mean warm-start iteration count over successful problems."""
+        values = [r.iterations_warm for r in self.records if r.success]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def mean_iterations_cold(self) -> float:
+        """Mean cold-start iteration count."""
+        return float(np.mean([r.iterations_cold for r in self.records]))
+
+    @property
+    def mean_cost_deviation(self) -> float:
+        """Mean relative deviation of warm-started cost from the cold-start optimum."""
+        devs = [
+            abs(r.cost_warm - r.cost_cold) / max(abs(r.cost_cold), 1e-12)
+            for r in self.records
+            if r.success
+        ]
+        return float(np.mean(devs)) if devs else float("nan")
+
+    def total_times(self) -> Dict[str, float]:
+        """Summed per-phase wall-clock times (the Fig. 5 breakdown numerators)."""
+        return {
+            "inference": float(sum(r.inference_seconds for r in self.records)),
+            "warm_solve": float(sum(r.warm_solve_seconds for r in self.records)),
+            "restart": float(sum(r.restart_seconds for r in self.records)),
+            "cold_solve": float(sum(r.cold_solve_seconds for r in self.records)),
+        }
+
+
+class SmartPGSim:
+    """Offline/online driver for one test system."""
+
+    def __init__(self, case: Case, config: Optional[SmartPGSimConfig] = None):
+        self.case = case
+        self.config = config or SmartPGSimConfig()
+        self.opf_model = OPFModel(case, flow_limits=self.config.opf.flow_limits)
+        self.artifacts: Optional[OfflineArtifacts] = None
+
+    # ------------------------------------------------------------------ offline
+    def offline(self, dataset: Optional[OPFDataset] = None) -> OfflineArtifacts:
+        """Run the offline phase (optionally reusing a pre-generated dataset)."""
+        cfg = self.config
+        t0 = time.perf_counter()
+        if dataset is None:
+            dataset = generate_dataset(
+                self.case,
+                cfg.n_samples,
+                variation=cfg.load_variation,
+                seed=cfg.seed,
+                options=cfg.opf,
+                model=self.opf_model,
+            )
+        dataset_seconds = time.perf_counter() - t0
+
+        train_set, validation_set = dataset.split(cfg.train_fraction, seed=cfg.seed)
+        dims = TaskDimensions(
+            n_bus=self.case.n_bus,
+            n_gen=self.case.n_gen,
+            n_eq=dataset.task_dim("lam"),
+            n_ineq=dataset.task_dim("mu"),
+        )
+        network_cls = SmartPGSimMTL if cfg.model_type == "mtl" else SeparateTaskNetworks
+        network = network_cls(dims, cfg.mtl, seed=cfg.seed)
+        trainer = MTLTrainer(
+            network,
+            train_set,
+            self.opf_model,
+            config=cfg.mtl,
+            use_physics=cfg.use_physics,
+        )
+        t1 = time.perf_counter()
+        history = trainer.train(validation_set)
+        training_seconds = time.perf_counter() - t1
+
+        self.artifacts = OfflineArtifacts(
+            dataset=dataset,
+            train_set=train_set,
+            validation_set=validation_set,
+            trainer=trainer,
+            history=history,
+            dataset_seconds=dataset_seconds,
+            training_seconds=training_seconds,
+        )
+        LOGGER.info(
+            "%s offline done: %d samples, dataset %.1fs, training %.1fs",
+            self.case.name,
+            dataset.n_samples,
+            dataset_seconds,
+            training_seconds,
+        )
+        return self.artifacts
+
+    def _require_offline(self) -> OfflineArtifacts:
+        if self.artifacts is None:
+            raise RuntimeError("call offline() before online evaluation")
+        return self.artifacts
+
+    # ------------------------------------------------------------------- online
+    def online_evaluate(
+        self,
+        dataset: Optional[OPFDataset] = None,
+        max_problems: Optional[int] = None,
+    ) -> OnlineEvaluation:
+        """Warm-start every problem of ``dataset`` (default: the validation split).
+
+        Cold-start timings and iteration counts are taken from the dataset
+        (they were measured while generating the ground truth), so the online
+        phase only pays for inference plus the warm-started solve — exactly
+        like the deployed system.
+        """
+        artifacts = self._require_offline()
+        dataset = dataset or artifacts.validation_set
+        n = dataset.n_samples if max_problems is None else min(max_problems, dataset.n_samples)
+
+        evaluation = OnlineEvaluation(case_name=self.case.name)
+        for i in range(n):
+            t0 = time.perf_counter()
+            warm = artifacts.trainer.warm_start_for(dataset.inputs[i])
+            inference_seconds = time.perf_counter() - t0
+
+            result = solve_opf(
+                self.case,
+                warm_start=warm,
+                Pd_mw=dataset.Pd_mw[i],
+                Qd_mvar=dataset.Qd_mw[i],
+                options=self.config.opf,
+                model=self.opf_model,
+            )
+            restart_seconds = 0.0
+            used_fallback = False
+            final = result
+            if not result.success:
+                used_fallback = True
+                restart_seconds = result.total_seconds
+                final = solve_opf(
+                    self.case,
+                    Pd_mw=dataset.Pd_mw[i],
+                    Qd_mvar=dataset.Qd_mw[i],
+                    options=self.config.opf,
+                    model=self.opf_model,
+                )
+
+            evaluation.records.append(
+                OnlineRecord(
+                    scenario_id=i,
+                    success=result.success,
+                    used_fallback=used_fallback,
+                    iterations_warm=result.iterations if result.success else final.iterations,
+                    iterations_cold=float(dataset.iterations[i]),
+                    inference_seconds=inference_seconds,
+                    warm_solve_seconds=result.total_seconds if result.success else final.total_seconds,
+                    cold_solve_seconds=float(dataset.solve_seconds[i]),
+                    restart_seconds=restart_seconds,
+                    cost_warm=final.objective,
+                    cost_cold=float(dataset.objectives[i]),
+                )
+            )
+        return evaluation
+
+    # -------------------------------------------------------- prediction accuracy
+    def prediction_accuracy(self, dataset: Optional[OPFDataset] = None) -> Dict[str, Dict[str, np.ndarray]]:
+        """Normalised prediction-vs-ground-truth pairs per task (Fig. 6 scatter data)."""
+        artifacts = self._require_offline()
+        dataset = dataset or artifacts.validation_set
+        pred = artifacts.trainer.predict_physical(dataset.inputs)
+        out: Dict[str, Dict[str, np.ndarray]] = {}
+        for task in TASK_NAMES:
+            truth = dataset.targets[task]
+            lo = truth.min()
+            span = max(truth.max() - lo, 1e-12)
+            out[task] = {
+                "prediction": (pred[task] - lo) / span,
+                "ground_truth": (truth - lo) / span,
+            }
+        return out

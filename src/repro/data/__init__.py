@@ -1,0 +1,5 @@
+"""Dataset generation for the offline training phase."""
+
+from repro.data.dataset import OPFDataset, TASK_NAMES, generate_dataset
+
+__all__ = ["OPFDataset", "TASK_NAMES", "generate_dataset"]

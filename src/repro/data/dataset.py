@@ -1,0 +1,212 @@
+"""Training-data containers and ground-truth generation.
+
+The offline phase of Smart-PGSim samples load scenarios, solves each of them
+with the exact MIPS solver and collects the converged primal/dual variables as
+supervision targets.  :func:`generate_dataset` implements that loop and
+:class:`OPFDataset` stores the result as flat NumPy arrays (one row per
+scenario) ready for model training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.grid.components import Case
+from repro.grid.perturb import LoadSample, sample_loads
+from repro.opf.model import OPFModel
+from repro.opf.result import OPFResult
+from repro.opf.solver import OPFOptions, solve_opf
+from repro.utils.logging import get_logger
+from repro.utils.rng import RNGLike
+
+LOGGER = get_logger("data")
+
+#: Names of the seven prediction tasks, in canonical order.
+TASK_NAMES: Tuple[str, ...] = ("Va", "Vm", "Pg", "Qg", "lam", "z", "mu")
+
+
+@dataclass
+class OPFDataset:
+    """Supervised dataset for one test system.
+
+    ``inputs`` holds the per-scenario feature vector ``[Pd, Qd]`` in p.u.
+    (2·nb columns); ``targets`` maps each task name to an ``(n_samples, dim)``
+    array of raw (un-normalised) solver values; ``objectives`` holds the
+    ground-truth cost ``f0`` used by the cost-consistency physics loss, and
+    ``iterations`` / ``solve_seconds`` record the cold-start solver effort so
+    the evaluation can compute speedups without re-solving everything.
+    """
+
+    case_name: str
+    inputs: np.ndarray
+    targets: Dict[str, np.ndarray]
+    objectives: np.ndarray
+    iterations: np.ndarray
+    solve_seconds: np.ndarray
+    Pd_mw: np.ndarray
+    Qd_mw: np.ndarray
+    base_mva: float
+
+    # --------------------------------------------------------------- basic API
+    @property
+    def n_samples(self) -> int:
+        """Number of scenarios in the dataset."""
+        return int(self.inputs.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Input dimensionality (2·nb)."""
+        return int(self.inputs.shape[1])
+
+    def task_dim(self, task: str) -> int:
+        """Output dimensionality of ``task``."""
+        return int(self.targets[task].shape[1])
+
+    def subset(self, index: np.ndarray) -> "OPFDataset":
+        """Row-indexed subset (used for train/validation splits)."""
+        index = np.asarray(index)
+        return OPFDataset(
+            case_name=self.case_name,
+            inputs=self.inputs[index],
+            targets={k: v[index] for k, v in self.targets.items()},
+            objectives=self.objectives[index],
+            iterations=self.iterations[index],
+            solve_seconds=self.solve_seconds[index],
+            Pd_mw=self.Pd_mw[index],
+            Qd_mw=self.Qd_mw[index],
+            base_mva=self.base_mva,
+        )
+
+    def split(self, train_fraction: float = 0.8, seed: RNGLike = 0) -> Tuple["OPFDataset", "OPFDataset"]:
+        """Shuffled train/validation split (default 80/20 as in the paper)."""
+        if not 0 < train_fraction < 1:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(self.n_samples)
+        n_train = int(round(train_fraction * self.n_samples))
+        n_train = min(max(n_train, 1), self.n_samples - 1) if self.n_samples > 1 else 1
+        return self.subset(perm[:n_train]), self.subset(perm[n_train:])
+
+    def batches(self, batch_size: int, seed: RNGLike = None, shuffle: bool = True):
+        """Yield row-index arrays forming mini-batches."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(self.n_samples)
+        if shuffle:
+            np.random.default_rng(seed).shuffle(order)
+        for start in range(0, self.n_samples, batch_size):
+            yield order[start : start + batch_size]
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the dataset to an ``.npz`` file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "case_name": np.array(self.case_name),
+            "inputs": self.inputs,
+            "objectives": self.objectives,
+            "iterations": self.iterations,
+            "solve_seconds": self.solve_seconds,
+            "Pd_mw": self.Pd_mw,
+            "Qd_mw": self.Qd_mw,
+            "base_mva": np.array(self.base_mva),
+        }
+        for task, values in self.targets.items():
+            payload[f"target_{task}"] = values
+        np.savez(path, **payload)
+        return path
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "OPFDataset":
+        """Read a dataset previously written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            targets = {
+                key[len("target_") :]: data[key].copy()
+                for key in data.files
+                if key.startswith("target_")
+            }
+            return OPFDataset(
+                case_name=str(data["case_name"]),
+                inputs=data["inputs"].copy(),
+                targets=targets,
+                objectives=data["objectives"].copy(),
+                iterations=data["iterations"].copy(),
+                solve_seconds=data["solve_seconds"].copy(),
+                Pd_mw=data["Pd_mw"].copy(),
+                Qd_mw=data["Qd_mw"].copy(),
+                base_mva=float(data["base_mva"]),
+            )
+
+
+def _result_targets(model: OPFModel, result: OPFResult) -> Dict[str, np.ndarray]:
+    parts = model.idx.split(result.x)
+    return {
+        "Va": parts["Va"].copy(),
+        "Vm": parts["Vm"].copy(),
+        "Pg": parts["Pg"].copy(),
+        "Qg": parts["Qg"].copy(),
+        "lam": result.lam.copy(),
+        "z": result.z.copy(),
+        "mu": result.mu.copy(),
+    }
+
+
+def generate_dataset(
+    case: Case,
+    n_samples: int,
+    variation: float = 0.1,
+    seed: RNGLike = 0,
+    options: Optional[OPFOptions] = None,
+    model: Optional[OPFModel] = None,
+    drop_failures: bool = True,
+) -> OPFDataset:
+    """Generate ground-truth data by solving sampled scenarios with MIPS.
+
+    Scenarios whose cold-start solve fails to converge are dropped (they are
+    rare for the built-in cases at ±10 % load variation), matching the paper's
+    use of converged solutions as supervision signal.
+    """
+    options = options or OPFOptions()
+    model = model or OPFModel(case, flow_limits=options.flow_limits)
+    samples = sample_loads(case, n_samples, variation=variation, seed=seed)
+
+    rows_in: List[np.ndarray] = []
+    rows_targets: Dict[str, List[np.ndarray]] = {task: [] for task in TASK_NAMES}
+    objectives, iterations, seconds = [], [], []
+    pd_rows, qd_rows = [], []
+
+    for sample in samples:
+        result = solve_opf(case, Pd_mw=sample.Pd, Qd_mvar=sample.Qd, options=options, model=model)
+        if not result.success:
+            LOGGER.warning("scenario %d failed to converge; %s", sample.scenario_id,
+                           "dropping" if drop_failures else "keeping")
+            if drop_failures:
+                continue
+        rows_in.append(sample.feature_vector() / case.base_mva)
+        for task, value in _result_targets(model, result).items():
+            rows_targets[task].append(value)
+        objectives.append(result.objective)
+        iterations.append(result.iterations)
+        seconds.append(result.total_seconds)
+        pd_rows.append(sample.Pd)
+        qd_rows.append(sample.Qd)
+
+    if not rows_in:
+        raise RuntimeError(f"no scenario of {case.name} converged; cannot build a dataset")
+
+    return OPFDataset(
+        case_name=case.name,
+        inputs=np.vstack(rows_in),
+        targets={task: np.vstack(rows) for task, rows in rows_targets.items()},
+        objectives=np.asarray(objectives, dtype=float),
+        iterations=np.asarray(iterations, dtype=float),
+        solve_seconds=np.asarray(seconds, dtype=float),
+        Pd_mw=np.vstack(pd_rows),
+        Qd_mw=np.vstack(qd_rows),
+        base_mva=case.base_mva,
+    )

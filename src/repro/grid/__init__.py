@@ -1,0 +1,58 @@
+"""Power-grid data model, built-in test systems and load sampling."""
+
+from repro.grid.components import (
+    PQ,
+    PV,
+    REF,
+    ISOLATED,
+    POLYNOMIAL,
+    PW_LINEAR,
+    BranchTable,
+    BusTable,
+    Case,
+    GenCostTable,
+    GenTable,
+)
+from repro.grid.cases import available_cases, case9, case14, get_case, register_case
+from repro.grid.io import case_from_matpower, case_to_matpower
+from repro.grid.perturb import (
+    LoadSample,
+    iter_load_samples,
+    nominal_load,
+    sample_loads,
+    scaled_load,
+    stressed_area_load,
+)
+from repro.grid.synthetic import SyntheticGridConfig, generate_case
+from repro.grid.validation import CaseValidationError, validate_case
+
+__all__ = [
+    "PQ",
+    "PV",
+    "REF",
+    "ISOLATED",
+    "POLYNOMIAL",
+    "PW_LINEAR",
+    "BusTable",
+    "GenTable",
+    "BranchTable",
+    "GenCostTable",
+    "Case",
+    "case9",
+    "case14",
+    "get_case",
+    "register_case",
+    "available_cases",
+    "case_from_matpower",
+    "case_to_matpower",
+    "LoadSample",
+    "sample_loads",
+    "iter_load_samples",
+    "scaled_load",
+    "stressed_area_load",
+    "nominal_load",
+    "SyntheticGridConfig",
+    "generate_case",
+    "CaseValidationError",
+    "validate_case",
+]

@@ -1,0 +1,254 @@
+"""Construction helpers between MATPOWER-style matrices and :class:`Case`.
+
+The concrete case modules (:mod:`repro.grid.cases`) store their data as
+MATPOWER-style row lists because that format is compact and familiar; this
+module converts those rows into the columnar :class:`repro.grid.Case` model
+and back (the reverse direction is used by tests and by the synthetic case
+generator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.grid.components import (
+    BranchTable,
+    BusTable,
+    Case,
+    GenCostTable,
+    GenTable,
+)
+
+#: Column order of a MATPOWER bus row (subset used here).
+BUS_COLUMNS = (
+    "bus_i",
+    "type",
+    "Pd",
+    "Qd",
+    "Gs",
+    "Bs",
+    "area",
+    "Vm",
+    "Va",
+    "baseKV",
+    "zone",
+    "Vmax",
+    "Vmin",
+)
+
+#: Column order of a MATPOWER gen row (subset used here).
+GEN_COLUMNS = (
+    "bus",
+    "Pg",
+    "Qg",
+    "Qmax",
+    "Qmin",
+    "Vg",
+    "mBase",
+    "status",
+    "Pmax",
+    "Pmin",
+)
+
+#: Column order of a MATPOWER branch row (subset used here).
+BRANCH_COLUMNS = (
+    "fbus",
+    "tbus",
+    "r",
+    "x",
+    "b",
+    "rateA",
+    "rateB",
+    "rateC",
+    "ratio",
+    "angle",
+    "status",
+    "angmin",
+    "angmax",
+)
+
+
+def _matrix(rows: Iterable[Sequence[float]], min_cols: int, what: str) -> np.ndarray:
+    mat = np.asarray([list(r) for r in rows], dtype=float)
+    if mat.ndim != 2 or mat.shape[1] < min_cols:
+        raise ValueError(f"{what} rows must have at least {min_cols} columns")
+    return mat
+
+
+def case_from_matpower(
+    name: str,
+    base_mva: float,
+    bus_rows: Iterable[Sequence[float]],
+    gen_rows: Iterable[Sequence[float]],
+    branch_rows: Iterable[Sequence[float]],
+    gencost_rows: Iterable[Sequence[float]],
+) -> Case:
+    """Build a :class:`Case` from MATPOWER-style row lists.
+
+    ``bus_rows`` must have at least 13 columns, ``gen_rows`` at least 10,
+    ``branch_rows`` at least 11 (``angmin``/``angmax`` default to ±360°) and
+    ``gencost_rows`` follow ``[model, startup, shutdown, ncost, c_{n-1}..c_0]``.
+    """
+    bus = _matrix(bus_rows, 13, "bus")
+    gen = _matrix(gen_rows, 10, "gen")
+    branch = _matrix(branch_rows, 11, "branch")
+    gencost = [list(map(float, row)) for row in gencost_rows]
+
+    nl = branch.shape[0]
+    if branch.shape[1] >= 13:
+        angmin, angmax = branch[:, 11], branch[:, 12]
+    else:
+        angmin, angmax = np.full(nl, -360.0), np.full(nl, 360.0)
+
+    bus_table = BusTable(
+        bus_i=bus[:, 0],
+        bus_type=bus[:, 1],
+        Pd=bus[:, 2],
+        Qd=bus[:, 3],
+        Gs=bus[:, 4],
+        Bs=bus[:, 5],
+        area=bus[:, 6],
+        Vm=bus[:, 7],
+        Va=bus[:, 8],
+        base_kv=bus[:, 9],
+        zone=bus[:, 10],
+        Vmax=bus[:, 11],
+        Vmin=bus[:, 12],
+    )
+    gen_table = GenTable(
+        bus=gen[:, 0],
+        Pg=gen[:, 1],
+        Qg=gen[:, 2],
+        Qmax=gen[:, 3],
+        Qmin=gen[:, 4],
+        Vg=gen[:, 5],
+        mbase=gen[:, 6],
+        status=gen[:, 7],
+        Pmax=gen[:, 8],
+        Pmin=gen[:, 9],
+    )
+    branch_table = BranchTable(
+        f_bus=branch[:, 0],
+        t_bus=branch[:, 1],
+        r=branch[:, 2],
+        x=branch[:, 3],
+        b=branch[:, 4],
+        rate_a=branch[:, 5],
+        ratio=branch[:, 8],
+        angle=branch[:, 9],
+        status=branch[:, 10],
+        angmin=angmin,
+        angmax=angmax,
+    )
+
+    ncost_max = max(int(row[3]) for row in gencost)
+    coeffs = np.zeros((len(gencost), ncost_max))
+    model = np.zeros(len(gencost), dtype=int)
+    startup = np.zeros(len(gencost))
+    shutdown = np.zeros(len(gencost))
+    ncost = np.zeros(len(gencost), dtype=int)
+    for i, row in enumerate(gencost):
+        model[i] = int(row[0])
+        startup[i] = row[1]
+        shutdown[i] = row[2]
+        ncost[i] = int(row[3])
+        cs = row[4 : 4 + ncost[i]]
+        if len(cs) != ncost[i]:
+            raise ValueError("gencost row has fewer coefficients than ncost")
+        # Right-align so the constant term always sits in the last column.
+        coeffs[i, ncost_max - ncost[i] :] = cs
+    gencost_table = GenCostTable(
+        model=model, startup=startup, shutdown=shutdown, ncost=ncost, coeffs=coeffs
+    )
+
+    return Case(
+        name=name,
+        base_mva=float(base_mva),
+        bus=bus_table,
+        gen=gen_table,
+        branch=branch_table,
+        gencost=gencost_table,
+    )
+
+
+def case_to_matpower(case: Case) -> Dict[str, List[List[float]]]:
+    """Convert a :class:`Case` back into MATPOWER-style row lists.
+
+    The output dictionary has keys ``baseMVA``, ``bus``, ``gen``, ``branch``
+    and ``gencost``.  Round-tripping through :func:`case_from_matpower` yields
+    an identical case (checked by the property tests).
+    """
+    bus_rows = [
+        [
+            int(case.bus.bus_i[i]),
+            int(case.bus.bus_type[i]),
+            case.bus.Pd[i],
+            case.bus.Qd[i],
+            case.bus.Gs[i],
+            case.bus.Bs[i],
+            int(case.bus.area[i]),
+            case.bus.Vm[i],
+            case.bus.Va[i],
+            case.bus.base_kv[i],
+            int(case.bus.zone[i]),
+            case.bus.Vmax[i],
+            case.bus.Vmin[i],
+        ]
+        for i in range(case.n_bus)
+    ]
+    gen_rows = [
+        [
+            int(case.gen.bus[i]),
+            case.gen.Pg[i],
+            case.gen.Qg[i],
+            case.gen.Qmax[i],
+            case.gen.Qmin[i],
+            case.gen.Vg[i],
+            case.gen.mbase[i],
+            int(case.gen.status[i]),
+            case.gen.Pmax[i],
+            case.gen.Pmin[i],
+        ]
+        for i in range(case.n_gen)
+    ]
+    branch_rows = [
+        [
+            int(case.branch.f_bus[i]),
+            int(case.branch.t_bus[i]),
+            case.branch.r[i],
+            case.branch.x[i],
+            case.branch.b[i],
+            case.branch.rate_a[i],
+            0.0,
+            0.0,
+            case.branch.ratio[i],
+            case.branch.angle[i],
+            int(case.branch.status[i]),
+            case.branch.angmin[i],
+            case.branch.angmax[i],
+        ]
+        for i in range(case.n_branch)
+    ]
+    gencost_rows = []
+    ncost_max = case.gencost.coeffs.shape[1]
+    for i in range(case.gencost.n):
+        nc = int(case.gencost.ncost[i])
+        coeffs = case.gencost.coeffs[i, ncost_max - nc :]
+        gencost_rows.append(
+            [
+                int(case.gencost.model[i]),
+                case.gencost.startup[i],
+                case.gencost.shutdown[i],
+                nc,
+                *coeffs.tolist(),
+            ]
+        )
+    return {
+        "baseMVA": [[case.base_mva]],
+        "bus": bus_rows,
+        "gen": gen_rows,
+        "branch": branch_rows,
+        "gencost": gencost_rows,
+    }

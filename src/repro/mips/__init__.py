@@ -1,0 +1,15 @@
+"""MIPS primal-dual interior-point solver (warm-startable)."""
+
+from repro.mips.options import MIPSOptions
+from repro.mips.qp import qps_mips
+from repro.mips.result import ConstraintPartition, IterationRecord, MIPSResult
+from repro.mips.solver import mips
+
+__all__ = [
+    "MIPSOptions",
+    "MIPSResult",
+    "IterationRecord",
+    "ConstraintPartition",
+    "mips",
+    "qps_mips",
+]

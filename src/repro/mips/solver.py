@@ -1,0 +1,418 @@
+"""MIPS: primal-dual interior-point solver for constrained nonlinear programs.
+
+This is a from-scratch NumPy/SciPy reimplementation of the algorithm behind
+MATPOWER's MIPS solver (Wang et al.), the numerical engine the paper
+accelerates.  It solves problems of the form::
+
+    min  f(x)
+    s.t. g(x)  = 0          (nonlinear equalities)
+         h(x) <= 0          (nonlinear inequalities)
+         xmin <= x <= xmax  (variable bounds)
+
+by converting the inequalities into equalities with positive slacks ``Z``,
+adding a logarithmic barrier with parameter ``gamma`` and applying Newton's
+method to the perturbed KKT conditions of the Lagrangian (Eqn. 3 of the
+paper).  The solver exposes exactly the warm-start surface the paper exploits:
+the primal point ``x``, equality multipliers ``λ``, inequality multipliers
+``µ`` and slacks ``Z`` can all be supplied as starting values, and the four
+termination conditions are recorded per iteration for the Fig. 10 analysis.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.mips.options import MIPSOptions
+from repro.mips.result import ConstraintPartition, IterationRecord, MIPSResult
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("mips")
+
+#: Objective callback: ``x -> (f, df)`` or ``(f, df, d2f)``.
+ObjectiveFn = Callable[[np.ndarray], Tuple]
+#: Constraint callback: ``x -> (g, h, Jg, Jh)`` with Jacobians in standard
+#: row-per-constraint orientation (``(n_con, n_x)`` sparse matrices).
+ConstraintFn = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray, sp.spmatrix, sp.spmatrix]]
+#: Lagrangian-Hessian callback: ``(x, lam_nl, mu_nl, cost_mult) -> (n_x, n_x)`` sparse.
+HessianFn = Callable[[np.ndarray, np.ndarray, np.ndarray, float], sp.spmatrix]
+
+
+def _empty_constraints(nx: int) -> Tuple[np.ndarray, np.ndarray, sp.csr_matrix, sp.csr_matrix]:
+    zero = np.zeros(0)
+    empty = sp.csr_matrix((0, nx))
+    return zero, zero, empty, empty
+
+
+class _BoundHandler:
+    """Converts variable bounds into internal equality / inequality rows."""
+
+    def __init__(self, nx: int, xmin: np.ndarray, xmax: np.ndarray, eq_tol: float):
+        self.nx = nx
+        self.xmin = xmin
+        self.xmax = xmax
+        finite_lo = np.isfinite(xmin)
+        finite_hi = np.isfinite(xmax)
+        fixed = finite_lo & finite_hi & (np.abs(xmax - xmin) <= eq_tol)
+        self.eq_idx = np.flatnonzero(fixed)
+        self.ub_idx = np.flatnonzero(finite_hi & ~fixed)
+        self.lb_idx = np.flatnonzero(finite_lo & ~fixed)
+
+        def selector(idx: np.ndarray, sign: float) -> sp.csr_matrix:
+            m = idx.size
+            return sp.csr_matrix(
+                (np.full(m, sign), (np.arange(m), idx)), shape=(m, nx)
+            )
+
+        self._E_eq = selector(self.eq_idx, 1.0)
+        self._E_ub = selector(self.ub_idx, 1.0)
+        self._E_lb = selector(self.lb_idx, -1.0)
+
+    def partition(self, n_eq_nl: int, n_ineq_nl: int) -> ConstraintPartition:
+        return ConstraintPartition(
+            n_eq_nonlin=n_eq_nl,
+            n_ineq_nonlin=n_ineq_nl,
+            eq_bound_idx=self.eq_idx.copy(),
+            ub_idx=self.ub_idx.copy(),
+            lb_idx=self.lb_idx.copy(),
+        )
+
+    def assemble(
+        self,
+        x: np.ndarray,
+        g_nl: np.ndarray,
+        h_nl: np.ndarray,
+        Jg_nl: sp.spmatrix,
+        Jh_nl: sp.spmatrix,
+    ) -> Tuple[np.ndarray, np.ndarray, sp.csr_matrix, sp.csr_matrix]:
+        """Stack nonlinear constraints with the bound-derived rows."""
+        g = np.concatenate([g_nl, x[self.eq_idx] - self.xmin[self.eq_idx]])
+        h = np.concatenate(
+            [h_nl, x[self.ub_idx] - self.xmax[self.ub_idx], self.xmin[self.lb_idx] - x[self.lb_idx]]
+        )
+        Jg = sp.vstack([sp.csr_matrix(Jg_nl), self._E_eq], format="csr")
+        Jh = sp.vstack([sp.csr_matrix(Jh_nl), self._E_ub, self._E_lb], format="csr")
+        return g, h, Jg, Jh
+
+    def interior_start(self, x0: np.ndarray) -> np.ndarray:
+        """Clip the starting point strictly inside non-degenerate bounds and onto fixed values."""
+        x = x0.copy()
+        x[self.eq_idx] = self.xmin[self.eq_idx]
+        lb, ub = self.lb_idx, self.ub_idx
+        x[lb] = np.maximum(x[lb], self.xmin[lb])
+        x[ub] = np.minimum(x[ub], self.xmax[ub])
+        return x
+
+
+def mips(
+    f_fcn: ObjectiveFn,
+    x0: np.ndarray,
+    gh_fcn: Optional[ConstraintFn] = None,
+    hess_fcn: Optional[HessianFn] = None,
+    xmin: Optional[np.ndarray] = None,
+    xmax: Optional[np.ndarray] = None,
+    lam0: Optional[np.ndarray] = None,
+    mu0: Optional[np.ndarray] = None,
+    z0: Optional[np.ndarray] = None,
+    options: Optional[MIPSOptions] = None,
+) -> MIPSResult:
+    """Solve a constrained nonlinear program with the MIPS interior-point method.
+
+    Parameters
+    ----------
+    f_fcn:
+        Objective callback returning ``(f, df)`` (or ``(f, df, d2f)``; the
+        Hessian entry is used only when ``hess_fcn`` is omitted, i.e. for
+        problems without nonlinear constraints).
+    x0:
+        Initial primal point.
+    gh_fcn:
+        Nonlinear constraint callback returning ``(g, h, Jg, Jh)`` where
+        ``g(x) = 0`` and ``h(x) <= 0`` and the Jacobians have one row per
+        constraint.  ``None`` for bound-only problems.
+    hess_fcn:
+        Lagrangian Hessian callback ``(x, lam_nl, mu_nl, cost_mult)`` → sparse
+        matrix.  Required when ``gh_fcn`` is supplied.
+    xmin, xmax:
+        Variable bounds (``±inf`` allowed).  Components with
+        ``xmin == xmax`` are treated as equality constraints.
+    lam0, mu0, z0:
+        Optional warm-start values for the equality multipliers, inequality
+        multipliers and slacks *in the internal ordering* (nonlinear rows
+        first, then bound rows) — this is the interface Smart-PGSim's
+        predicted warm-start point feeds.
+    options:
+        :class:`MIPSOptions`; defaults match MATPOWER.
+    """
+    opt = options or MIPSOptions()
+    opt.validate()
+
+    x0 = np.asarray(x0, dtype=float).copy()
+    nx = x0.size
+    xmin = np.full(nx, -np.inf) if xmin is None else np.asarray(xmin, dtype=float)
+    xmax = np.full(nx, np.inf) if xmax is None else np.asarray(xmax, dtype=float)
+    if xmin.shape != (nx,) or xmax.shape != (nx,):
+        raise ValueError("xmin/xmax must match the size of x0")
+    if np.any(xmin > xmax):
+        raise ValueError("xmin > xmax for at least one variable")
+
+    bounds = _BoundHandler(nx, xmin, xmax, opt.bound_eq_tol)
+    if gh_fcn is not None and hess_fcn is None:
+        raise ValueError("hess_fcn is required when nonlinear constraints are present")
+
+    def eval_objective(x: np.ndarray) -> Tuple[float, np.ndarray, Optional[sp.spmatrix]]:
+        out = f_fcn(x)
+        if len(out) == 2:
+            f, df = out
+            d2f = None
+        else:
+            f, df, d2f = out
+        return float(f) * opt.cost_mult, np.asarray(df, dtype=float) * opt.cost_mult, d2f
+
+    def eval_constraints(x: np.ndarray):
+        if gh_fcn is None:
+            g_nl, h_nl, Jg_nl, Jh_nl = _empty_constraints(nx)
+        else:
+            g_nl, h_nl, Jg_nl, Jh_nl = gh_fcn(x)
+            g_nl = np.asarray(g_nl, dtype=float)
+            h_nl = np.asarray(h_nl, dtype=float)
+        return bounds.assemble(x, g_nl, h_nl, Jg_nl, Jh_nl), (g_nl.size, h_nl.size)
+
+    start_time = time.perf_counter()
+    x = bounds.interior_start(x0)
+
+    (g, h, Jg, Jh), (n_eq_nl, n_ineq_nl) = eval_constraints(x)
+    partition = bounds.partition(n_eq_nl, n_ineq_nl)
+    neq, niq = g.size, h.size
+
+    f, df, d2f_cached = eval_objective(x)
+
+    # ---------------------------------------------------------------- warm start
+    gamma = opt.z0
+    if lam0 is not None:
+        lam = np.asarray(lam0, dtype=float).copy()
+        if lam.shape != (neq,):
+            raise ValueError(f"lam0 must have length {neq}")
+    else:
+        lam = np.zeros(neq)
+
+    z = opt.z0 * np.ones(niq)
+    below = h < -opt.z0
+    z[below] = -h[below]
+    if z0 is not None:
+        z_ws = np.asarray(z0, dtype=float)
+        if z_ws.shape != (niq,):
+            raise ValueError(f"z0 must have length {niq}")
+        z = np.maximum(z_ws, 1e-10)
+
+    mu = opt.z0 * np.ones(niq)
+    big = gamma / np.maximum(z, 1e-300) > opt.z0
+    mu[big] = gamma / z[big]
+    if mu0 is not None:
+        mu_ws = np.asarray(mu0, dtype=float)
+        if mu_ws.shape != (niq,):
+            raise ValueError(f"mu0 must have length {niq}")
+        mu = np.maximum(mu_ws, 1e-10)
+    if niq > 0 and (mu0 is not None or z0 is not None):
+        gamma = max(opt.sigma * float(z @ mu) / niq, 1e-12)
+
+    e = np.ones(niq)
+
+    def lagrangian_gradient(df_, Jg_, Jh_, lam_, mu_) -> np.ndarray:
+        Lx = df_.copy()
+        if neq:
+            Lx = Lx + Jg_.T @ lam_
+        if niq:
+            Lx = Lx + Jh_.T @ mu_
+        return Lx
+
+    def conditions(f_, f0_, g_, h_, Lx_, x_, z_, lam_, mu_) -> Tuple[float, float, float, float]:
+        maxh = float(np.max(h_)) if h_.size else -np.inf
+        norm_g = float(np.max(np.abs(g_))) if g_.size else 0.0
+        norm_x = float(np.max(np.abs(x_))) if x_.size else 0.0
+        norm_z = float(np.max(np.abs(z_))) if z_.size else 0.0
+        norm_lam = float(np.max(np.abs(lam_))) if lam_.size else 0.0
+        norm_mu = float(np.max(np.abs(mu_))) if mu_.size else 0.0
+        feascond = max(norm_g, maxh) / (1.0 + max(norm_x, norm_z))
+        gradcond = (float(np.max(np.abs(Lx_))) if Lx_.size else 0.0) / (
+            1.0 + max(norm_lam, norm_mu)
+        )
+        compcond = (float(z_ @ mu_) if z_.size else 0.0) / (1.0 + norm_x)
+        costcond = abs(f_ - f0_) / (1.0 + abs(f0_))
+        return feascond, gradcond, compcond, costcond
+
+    Lx = lagrangian_gradient(df, Jg, Jh, lam, mu)
+    f0 = f
+    feascond, gradcond, compcond, costcond = conditions(f, f0, g, h, Lx, x, z, lam, mu)
+
+    history = []
+    converged = bool(
+        feascond < opt.feastol
+        and gradcond < opt.gradtol
+        and compcond < opt.comptol
+        and costcond < opt.costtol
+    )
+    message = "converged" if converged else ""
+    iterations = 0
+
+    if opt.record_history:
+        history.append(
+            IterationRecord(
+                iteration=0,
+                step_size=0.0,
+                feascond=feascond,
+                gradcond=gradcond,
+                compcond=compcond,
+                costcond=costcond,
+                objective=f / opt.cost_mult,
+                gamma=gamma,
+                alpha_primal=0.0,
+                alpha_dual=0.0,
+            )
+        )
+
+    while not converged and iterations < opt.max_it:
+        iterations += 1
+
+        # ------------------------------------------------------ Newton system
+        lam_nl = lam[:n_eq_nl]
+        mu_nl = mu[:n_ineq_nl]
+        if hess_fcn is not None:
+            Lxx = sp.csr_matrix(hess_fcn(x, lam_nl, mu_nl, opt.cost_mult))
+        elif d2f_cached is not None:
+            Lxx = sp.csr_matrix(d2f_cached) * opt.cost_mult
+        else:
+            raise ValueError(
+                "no Hessian available: provide hess_fcn or a 3-tuple objective"
+            )
+
+        if niq:
+            zinv = 1.0 / z
+            dh_zinv = Jh.T @ sp.diags(zinv)  # columns scaled by 1/z  -> (nx, niq)
+            M = Lxx + dh_zinv @ sp.diags(mu) @ Jh
+            N = Lx + dh_zinv @ (mu * h + gamma * e)
+        else:
+            M = Lxx
+            N = Lx.copy()
+
+        if neq:
+            kkt = sp.bmat([[M, Jg.T], [Jg, None]], format="csc")
+            rhs = np.concatenate([-N, -g])
+        else:
+            kkt = sp.csc_matrix(M)
+            rhs = -N
+
+        try:
+            sol = spla.spsolve(kkt, rhs)
+        except Exception:  # singular factorisation
+            message = "numerically failed (singular KKT system)"
+            break
+        if not np.all(np.isfinite(sol)):
+            message = "numerically failed (non-finite Newton step)"
+            break
+
+        dx = sol[:nx]
+        dlam = sol[nx:] if neq else np.zeros(0)
+        if float(np.max(np.abs(dx))) > opt.max_stepsize:
+            message = "numerically failed (step size exploded)"
+            break
+
+        if niq:
+            dz = -h - z - Jh @ dx
+            dmu = -mu + (gamma - mu * dz) / z
+        else:
+            dz = np.zeros(0)
+            dmu = np.zeros(0)
+
+        # --------------------------------------------------- step lengths
+        alphap = 1.0
+        if niq:
+            neg = dz < 0
+            if np.any(neg):
+                alphap = min(opt.xi * float(np.min(z[neg] / -dz[neg])), 1.0)
+        alphad = 1.0
+        if niq:
+            neg = dmu < 0
+            if np.any(neg):
+                alphad = min(opt.xi * float(np.min(mu[neg] / -dmu[neg])), 1.0)
+
+        x = x + alphap * dx
+        if niq:
+            z = z + alphap * dz
+            mu = mu + alphad * dmu
+            gamma = opt.sigma * float(z @ mu) / niq
+        if neq:
+            lam = lam + alphad * dlam
+
+        # ----------------------------------------------------- re-evaluate
+        f0 = f
+        f, df, d2f_cached = eval_objective(x)
+        (g, h, Jg, Jh), _ = eval_constraints(x)
+        Lx = lagrangian_gradient(df, Jg, Jh, lam, mu)
+        feascond, gradcond, compcond, costcond = conditions(
+            f, f0, g, h, Lx, x, z, lam, mu
+        )
+
+        if opt.record_history:
+            history.append(
+                IterationRecord(
+                    iteration=iterations,
+                    step_size=float(np.max(np.abs(dx))) if dx.size else 0.0,
+                    feascond=feascond,
+                    gradcond=gradcond,
+                    compcond=compcond,
+                    costcond=costcond,
+                    objective=f / opt.cost_mult,
+                    gamma=gamma,
+                    alpha_primal=alphap,
+                    alpha_dual=alphad,
+                )
+            )
+        if opt.verbose:
+            LOGGER.info(
+                "it %3d  f=%.6e  feas=%.3e grad=%.3e comp=%.3e cost=%.3e",
+                iterations,
+                f,
+                feascond,
+                gradcond,
+                compcond,
+                costcond,
+            )
+
+        if (
+            feascond < opt.feastol
+            and gradcond < opt.gradtol
+            and compcond < opt.comptol
+            and costcond < opt.costtol
+        ):
+            converged = True
+            message = "converged"
+            break
+        if not np.all(np.isfinite(x)):
+            message = "numerically failed (non-finite iterate)"
+            break
+        if float(np.max(np.abs(x))) > opt.max_stepsize:
+            message = "numerically failed (iterate diverged)"
+            break
+
+    if not converged and not message:
+        message = "iteration limit reached"
+
+    elapsed = time.perf_counter() - start_time
+    return MIPSResult(
+        x=x,
+        f=f / opt.cost_mult,
+        converged=converged,
+        iterations=iterations,
+        lam=lam,
+        mu=mu,
+        z=z,
+        partition=partition,
+        message=message,
+        history=history,
+        elapsed_seconds=elapsed,
+    )

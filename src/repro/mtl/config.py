@@ -1,0 +1,93 @@
+"""Configuration of the multitask-learning model and its training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MTLConfig:
+    """Hyper-parameters of the Smart-PGSim MTL model.
+
+    The shared trunk follows the paper's topology: five fully-connected layers
+    whose widths grow from the input size (2·nb) by the factors in
+    ``shared_layer_scales`` (600 → 720 → 840 → 960 → 1080 for the 300-bus
+    system).  ``width_cap`` optionally limits the trunk width so the NumPy
+    implementation stays fast on laptops; set it to ``None`` for the faithful
+    sizes.
+    """
+
+    shared_layer_scales: Tuple[float, ...] = (1.0, 1.2, 1.4, 1.6, 1.8)
+    width_cap: Optional[int] = 256
+    #: Hidden width of each task-specific estimator, as a fraction of the
+    #: trunk output width (with a floor of ``head_min_width``).
+    head_width_fraction: float = 0.5
+    head_min_width: int = 32
+    #: Per-task weights ``W_v`` of the supervised Charbonnier loss (Eqn. 4).
+    task_weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "Va": 1.0,
+            "Vm": 1.0,
+            "Pg": 1.0,
+            "Qg": 1.0,
+            "lam": 0.5,
+            "z": 0.5,
+            "mu": 0.5,
+        }
+    )
+    #: Charbonnier numerical-stability constant (paper: 1e-9).
+    charbonnier_eps: float = 1e-9
+
+    # ------------------------------------------------------- physics-informed terms
+    use_physics: bool = True
+    weight_ac: float = 1.0
+    weight_ieq: float = 0.1
+    weight_cost: float = 0.1
+    weight_lag: float = 0.01
+    #: Exponent clip used inside the exponential inequality penalties to keep
+    #: early-training iterates from overflowing.
+    ieq_exp_clip: float = 20.0
+
+    # ------------------------------------------------------------------ training
+    epochs: int = 60
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    grad_clip: float = 5.0
+    #: Apply the auxiliary-task ``detach()`` knob every ``detach_period``
+    #: epochs (0 disables the knob entirely).
+    detach_period: int = 2
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if len(self.shared_layer_scales) < 1:
+            raise ValueError("need at least one shared layer")
+        if any(s <= 0 for s in self.shared_layer_scales):
+            raise ValueError("shared layer scales must be positive")
+        if self.width_cap is not None and self.width_cap < 8:
+            raise ValueError("width_cap must be at least 8")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.detach_period < 0:
+            raise ValueError("detach_period must be non-negative")
+        missing = {"Va", "Vm", "Pg", "Qg", "lam", "z", "mu"} - set(self.task_weights)
+        if missing:
+            raise ValueError(f"task_weights missing entries for {sorted(missing)}")
+
+
+def fast_config(**overrides) -> MTLConfig:
+    """A small configuration suitable for tests and quick benchmarks."""
+    defaults = dict(
+        shared_layer_scales=(1.0, 1.2),
+        width_cap=64,
+        head_min_width=16,
+        epochs=15,
+        batch_size=16,
+        learning_rate=2e-3,
+    )
+    defaults.update(overrides)
+    return MTLConfig(**defaults)

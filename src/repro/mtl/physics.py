@@ -1,0 +1,296 @@
+"""Physics-informed loss terms (Section VII of the paper).
+
+All four objective functions are expressed with the autograd tensors of
+:mod:`repro.nn`, so their gradients flow back through the MTL model during
+training:
+
+* ``f_AC``   — AC nodal power-balance residual (Eqn. 5),
+* ``f_ieq``  — exponential penalties guarding the inequality constraints (Eqn. 6),
+* ``f_cost`` — consistency between the predicted dispatch cost and the
+  ground-truth optimal cost (Eqn. 7),
+* ``f_Lag``  — Lagrangian conservation of the equality / slacked inequality
+  terms (Eqn. 8).
+
+Predictions handed to these functions are in *physical* units (radians, p.u.
+voltages and injections, raw multipliers), shaped ``(batch, dim)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor, concatenate
+from repro.opf.model import OPFModel
+
+
+def _clip_exp(values: Tensor, clip: float) -> Tensor:
+    """Exponential with an upper clip on the exponent (keeps training stable)."""
+    clipped = -((-values).clamp_min(-clip))
+    return clipped.exp()
+
+
+@dataclass
+class PhysicsContext:
+    """Dense snapshots of the network data needed by the physics losses.
+
+    Everything is pre-converted to dense ``float64`` arrays because the batch
+    sizes are small and the autograd engine operates on dense tensors.
+    """
+
+    base_mva: float
+    n_bus: int
+    n_gen: int
+    # Bus admittance split into real/imaginary parts.
+    Gbus: np.ndarray
+    Bbus: np.ndarray
+    # Generator connection matrix (nb, ng) with out-of-service columns zeroed.
+    Cg: np.ndarray
+    # Polynomial cost coefficients, descending powers, one row per generator.
+    cost_coeffs: np.ndarray
+    # Variable bounds and the MIPS bound-row bookkeeping.
+    xmin: np.ndarray
+    xmax: np.ndarray
+    eq_bound_idx: np.ndarray
+    ub_idx: np.ndarray
+    lb_idx: np.ndarray
+    # Limited-branch data (empty arrays when the case has no flow limits).
+    Gf: np.ndarray
+    Bf: np.ndarray
+    Gt: np.ndarray
+    Bt: np.ndarray
+    Cf: np.ndarray
+    Ct: np.ndarray
+    flow_limit_sq: np.ndarray
+
+    @staticmethod
+    def from_model(model: OPFModel) -> "PhysicsContext":
+        """Build the context from an :class:`~repro.opf.OPFModel`."""
+        case = model.case
+        adm = model.adm
+        on = (case.gen.status > 0).astype(float)
+        Cg = adm.Cg.toarray() * on[np.newaxis, :]
+        Ybus = adm.Ybus.toarray()
+        xmin, xmax = model.bounds()
+
+        lim = model.limited_branches
+        if lim.size:
+            Yf = adm.Yf[lim].toarray()
+            Yt = adm.Yt[lim].toarray()
+            Cf = adm.Cf[lim].toarray()
+            Ct = adm.Ct[lim].toarray()
+        else:
+            nb = case.n_bus
+            Yf = Yt = np.zeros((0, nb), dtype=complex)
+            Cf = Ct = np.zeros((0, nb))
+
+        return PhysicsContext(
+            base_mva=case.base_mva,
+            n_bus=case.n_bus,
+            n_gen=case.n_gen,
+            Gbus=Ybus.real.copy(),
+            Bbus=Ybus.imag.copy(),
+            Cg=Cg,
+            cost_coeffs=case.gencost.coeffs.copy(),
+            xmin=xmin,
+            xmax=xmax,
+            eq_bound_idx=np.flatnonzero(
+                np.isfinite(xmin) & np.isfinite(xmax) & (np.abs(xmax - xmin) <= 1e-10)
+            ),
+            ub_idx=np.flatnonzero(
+                np.isfinite(xmax) & ~(np.isfinite(xmin) & (np.abs(xmax - xmin) <= 1e-10))
+            ),
+            lb_idx=np.flatnonzero(
+                np.isfinite(xmin) & ~(np.isfinite(xmax) & (np.abs(xmax - xmin) <= 1e-10))
+            ),
+            Gf=Yf.real.copy(),
+            Bf=Yf.imag.copy(),
+            Gt=Yt.real.copy(),
+            Bt=Yt.imag.copy(),
+            Cf=Cf,
+            Ct=Ct,
+            flow_limit_sq=model.flow_limit_sq.copy(),
+        )
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def n_limited(self) -> int:
+        """Number of flow-limited branches."""
+        return int(self.flow_limit_sq.shape[0])
+
+
+def rectangular_voltage(pred: Dict[str, Tensor]) -> Tuple[Tensor, Tensor]:
+    """Real/imaginary voltage components from predicted ``Va`` (rad) and ``Vm`` (p.u.)."""
+    Va, Vm = pred["Va"], pred["Vm"]
+    return Vm * Va.cos(), Vm * Va.sin()
+
+
+def power_balance_residual(
+    ctx: PhysicsContext,
+    pred: Dict[str, Tensor],
+    Pd_pu: np.ndarray,
+    Qd_pu: np.ndarray,
+) -> Tuple[Tensor, Tensor]:
+    """Per-bus active/reactive power-balance mismatch of the predicted solution."""
+    e, f = rectangular_voltage(pred)
+    # I = Ybus V  (batched: rows of e/f are samples).
+    Ir = e @ ctx.Gbus.T - f @ ctx.Bbus.T
+    Ii = e @ ctx.Bbus.T + f @ ctx.Gbus.T
+    Pbus = e * Ir + f * Ii
+    Qbus = f * Ir - e * Ii
+    Pg_bus = pred["Pg"] @ ctx.Cg.T
+    Qg_bus = pred["Qg"] @ ctx.Cg.T
+    misP = Pbus + as_tensor(Pd_pu) - Pg_bus
+    misQ = Qbus + as_tensor(Qd_pu) - Qg_bus
+    return misP, misQ
+
+
+def branch_flow_squared(ctx: PhysicsContext, pred: Dict[str, Tensor]) -> Optional[Tuple[Tensor, Tensor]]:
+    """Squared apparent flows ``(|Sf|², |St|²)`` on limited branches, or ``None``."""
+    if ctx.n_limited == 0:
+        return None
+    e, f = rectangular_voltage(pred)
+
+    def side(G: np.ndarray, B: np.ndarray, C: np.ndarray) -> Tensor:
+        Ir = e @ G.T - f @ B.T
+        Ii = e @ B.T + f @ G.T
+        Vr = e @ C.T
+        Vi = f @ C.T
+        P = Vr * Ir + Vi * Ii
+        Q = Vi * Ir - Vr * Ii
+        return P * P + Q * Q
+
+    return side(ctx.Gf, ctx.Bf, ctx.Cf), side(ctx.Gt, ctx.Bt, ctx.Ct)
+
+
+def stack_primal(pred: Dict[str, Tensor]) -> Tensor:
+    """Concatenate the predicted primal components in MIPS variable order."""
+    return concatenate([pred["Va"], pred["Vm"], pred["Pg"], pred["Qg"]], axis=1)
+
+
+def inequality_values(ctx: PhysicsContext, pred: Dict[str, Tensor]) -> Tensor:
+    """All inequality constraint values ``h(X)`` in MIPS internal ordering.
+
+    Ordering matches :class:`repro.mips.ConstraintPartition`: branch-flow rows
+    (from-end then to-end), then upper-bound rows, then lower-bound rows.
+    """
+    x = stack_primal(pred)
+    pieces = []
+    flows = branch_flow_squared(ctx, pred)
+    if flows is not None:
+        Af, At = flows
+        pieces.append(Af - ctx.flow_limit_sq)
+        pieces.append(At - ctx.flow_limit_sq)
+    if ctx.ub_idx.size:
+        pieces.append(x[:, ctx.ub_idx] - ctx.xmax[ctx.ub_idx])
+    if ctx.lb_idx.size:
+        pieces.append(ctx.xmin[ctx.lb_idx] - x[:, ctx.lb_idx])
+    if not pieces:
+        raise ValueError("problem has no inequality constraints")
+    return concatenate(pieces, axis=1)
+
+
+def equality_values(
+    ctx: PhysicsContext,
+    pred: Dict[str, Tensor],
+    Pd_pu: np.ndarray,
+    Qd_pu: np.ndarray,
+) -> Tensor:
+    """All equality constraint values ``g(X)`` in MIPS internal ordering."""
+    misP, misQ = power_balance_residual(ctx, pred, Pd_pu, Qd_pu)
+    pieces = [misP, misQ]
+    if ctx.eq_bound_idx.size:
+        x = stack_primal(pred)
+        pieces.append(x[:, ctx.eq_bound_idx] - ctx.xmin[ctx.eq_bound_idx])
+    return concatenate(pieces, axis=1)
+
+
+def predicted_cost(ctx: PhysicsContext, pred: Dict[str, Tensor]) -> Tensor:
+    """Total generation cost ($/h) of the predicted dispatch (per sample)."""
+    Pg_mw = pred["Pg"] * ctx.base_mva
+    ncost_max = ctx.cost_coeffs.shape[1]
+    cost = as_tensor(np.zeros((Pg_mw.shape[0], ctx.n_gen)))
+    for k in range(ncost_max):
+        cost = cost * Pg_mw + ctx.cost_coeffs[:, k]
+    return cost.sum(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# The four physics objective functions
+# ---------------------------------------------------------------------------
+def f_ac(ctx: PhysicsContext, pred: Dict[str, Tensor], Pd_pu: np.ndarray, Qd_pu: np.ndarray) -> Tensor:
+    """Power-balance objective ``f_AC`` (Eqn. 5): mean absolute nodal mismatch."""
+    misP, misQ = power_balance_residual(ctx, pred, Pd_pu, Qd_pu)
+    return misP.abs().mean() + misQ.abs().mean()
+
+
+def f_ieq(ctx: PhysicsContext, pred: Dict[str, Tensor], exp_clip: float = 20.0) -> Tensor:
+    """Inequality-guarding objective ``f_ieq`` (Eqn. 6).
+
+    Exponential penalties on bound violations of the primal variables and on
+    branch-flow overflow; strongly feasible points contribute almost nothing.
+    """
+    x = stack_primal(pred)
+    terms = []
+    if ctx.ub_idx.size:
+        terms.append(_clip_exp(x[:, ctx.ub_idx] - ctx.xmax[ctx.ub_idx], exp_clip).mean())
+    if ctx.lb_idx.size:
+        terms.append(_clip_exp(ctx.xmin[ctx.lb_idx] - x[:, ctx.lb_idx], exp_clip).mean())
+    flows = branch_flow_squared(ctx, pred)
+    if flows is not None:
+        Af, At = flows
+        terms.append(_clip_exp(Af - ctx.flow_limit_sq, exp_clip).mean())
+        terms.append(_clip_exp(At - ctx.flow_limit_sq, exp_clip).mean())
+    total = terms[0]
+    for term in terms[1:]:
+        total = total + term
+    return total
+
+
+def f_cost(ctx: PhysicsContext, pred: Dict[str, Tensor], f0: np.ndarray) -> Tensor:
+    """Cost-consistency objective ``f_cost`` (Eqn. 7), relative to the optimum.
+
+    The deviation is normalised by the ground-truth cost so the term has a
+    comparable scale across test systems.
+    """
+    cost = predicted_cost(ctx, pred)
+    f0 = np.asarray(f0, dtype=float).reshape(-1)
+    return ((cost - f0) / np.maximum(np.abs(f0), 1e-12)).abs().mean()
+
+
+def f_lag(
+    ctx: PhysicsContext,
+    pred: Dict[str, Tensor],
+    Pd_pu: np.ndarray,
+    Qd_pu: np.ndarray,
+) -> Tensor:
+    """Lagrangian-conservation objective ``f_Lag`` (Eqn. 8)."""
+    g = equality_values(ctx, pred, Pd_pu, Qd_pu)
+    h = inequality_values(ctx, pred)
+    lam, mu, z = pred["lam"], pred["mu"], pred["z"]
+    eq_term = (lam * g).sum(axis=1).abs().mean()
+    ineq_term = (mu * (h + z)).sum(axis=1).abs().mean()
+    return eq_term + ineq_term
+
+
+def physics_losses(
+    ctx: PhysicsContext,
+    pred: Dict[str, Tensor],
+    Pd_pu: np.ndarray,
+    Qd_pu: np.ndarray,
+    f0: np.ndarray,
+    weights: Dict[str, float],
+    exp_clip: float = 20.0,
+) -> Dict[str, Tensor]:
+    """Evaluate the weighted physics terms; returns each term plus ``"total"``."""
+    terms = {
+        "f_ac": f_ac(ctx, pred, Pd_pu, Qd_pu) * weights.get("f_ac", 1.0),
+        "f_ieq": f_ieq(ctx, pred, exp_clip=exp_clip) * weights.get("f_ieq", 1.0),
+        "f_cost": f_cost(ctx, pred, f0) * weights.get("f_cost", 1.0),
+        "f_lag": f_lag(ctx, pred, Pd_pu, Qd_pu) * weights.get("f_lag", 1.0),
+    }
+    total = terms["f_ac"] + terms["f_ieq"] + terms["f_cost"] + terms["f_lag"]
+    terms["total"] = total
+    return terms

@@ -1,0 +1,59 @@
+"""Baseline: independent per-task networks without information sharing.
+
+Section VIII-D of the paper compares the MTL model against "multiple separate
+NNs" with the same number of layers and neurons but no parameter or loss
+sharing.  :class:`SeparateTaskNetworks` implements that baseline with the same
+forward interface as :class:`~repro.mtl.model.SmartPGSimMTL`, so the trainer
+and the evaluation harness can treat both interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mtl.config import MTLConfig
+from repro.mtl.model import TaskDimensions, _head, _trunk_widths
+from repro.nn.modules import Module, ReLU, mlp
+from repro.nn.tensor import Tensor, as_tensor
+from repro.utils.rng import ensure_rng
+
+
+class SeparateTaskNetworks(Module):
+    """Seven disjoint networks, one per task (no shared layers, no hierarchy)."""
+
+    def __init__(self, dims: TaskDimensions, config: Optional[MTLConfig] = None, seed: Optional[int] = None):
+        super().__init__()
+        self.config = config or MTLConfig()
+        self.config.validate()
+        self.dims = dims
+        rng = ensure_rng(self.config.seed if seed is None else seed)
+
+        widths = _trunk_widths(dims.n_inputs, self.config)
+        positive = {"Va": False, "Vm": True, "Pg": True, "Qg": True, "lam": False, "z": True, "mu": True}
+        self.task_order = tuple(dims.as_dict().keys())
+        for task, out_dim in dims.as_dict().items():
+            trunk = mlp([dims.n_inputs, *widths], activation=ReLU, output_activation=ReLU, rng=rng)
+            head = _head(widths[-1], out_dim, self.config, positive=positive[task], rng=rng)
+            setattr(self, f"trunk_{task}", trunk)
+            setattr(self, f"head_{task}", head)
+
+    def forward(self, inputs: Tensor, detach_auxiliary: bool = False) -> Dict[str, Tensor]:
+        """Predict every task from its own private network.
+
+        ``detach_auxiliary`` is accepted for interface compatibility but has no
+        effect: with disjoint networks there is nothing to protect.
+        """
+        inputs = as_tensor(inputs)
+        outputs: Dict[str, Tensor] = {}
+        for task in self.task_order:
+            trunk = getattr(self, f"trunk_{task}")
+            head = getattr(self, f"head_{task}")
+            outputs[task] = head(trunk(inputs))
+        return outputs
+
+    def predict(self, inputs: np.ndarray) -> Dict[str, np.ndarray]:
+        """Inference on a NumPy batch; returns NumPy arrays (normalised space)."""
+        outputs = self.forward(Tensor(np.atleast_2d(inputs)))
+        return {task: out.data.copy() for task, out in outputs.items()}

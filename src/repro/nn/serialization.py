@@ -1,0 +1,36 @@
+"""Saving and loading model parameters (NumPy ``.npz`` format)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.modules import Module
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: Union[str, Path]) -> Path:
+    """Write a state dict to ``path`` (``.npz``).  Returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Dotted parameter names are legal npz keys as-is.
+    np.savez(path, **state)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state_dict(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return {key: data[key].copy() for key in data.files}
+
+
+def save_module(module: Module, path: Union[str, Path]) -> Path:
+    """Persist a module's parameters."""
+    return save_state_dict(module.state_dict(), path)
+
+
+def load_module(module: Module, path: Union[str, Path]) -> Module:
+    """Load parameters into ``module`` (shapes must match) and return it."""
+    module.load_state_dict(load_state_dict(path))
+    return module

@@ -1,0 +1,35 @@
+"""AC optimal power flow: model, constraints, Hessian, driver and warm starts."""
+
+from repro.opf.costs import (
+    objective,
+    polynomial_cost,
+    polynomial_cost_derivatives,
+    total_cost,
+)
+from repro.opf.constraints import branch_flow_limits, constraint_function, power_balance
+from repro.opf.hessian import hessian_function, lagrangian_hessian
+from repro.opf.model import OPFModel, VariableIndex
+from repro.opf.result import OPFResult, build_opf_result
+from repro.opf.solver import OPFOptions, build_model, solve_opf, solve_opf_with_fallback
+from repro.opf.warmstart import WarmStart
+
+__all__ = [
+    "OPFModel",
+    "VariableIndex",
+    "OPFOptions",
+    "OPFResult",
+    "WarmStart",
+    "build_model",
+    "build_opf_result",
+    "solve_opf",
+    "solve_opf_with_fallback",
+    "objective",
+    "polynomial_cost",
+    "polynomial_cost_derivatives",
+    "total_cost",
+    "power_balance",
+    "branch_flow_limits",
+    "constraint_function",
+    "hessian_function",
+    "lagrangian_hessian",
+]

@@ -1,0 +1,76 @@
+"""Polynomial generation-cost functions and their derivatives.
+
+Cost coefficients are stored in $/h per MW powers (MATPOWER convention) while
+the optimisation variable ``Pg`` is in p.u., so the chain rule brings in
+factors of the MVA base for the gradient and Hessian.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.grid.components import Case
+from repro.opf.model import OPFModel
+
+
+def polynomial_cost(case: Case, Pg_mw: np.ndarray) -> np.ndarray:
+    """Per-generator cost ($/h) for outputs ``Pg_mw`` in MW."""
+    Pg_mw = np.asarray(Pg_mw, dtype=float)
+    ncost_max = case.gencost.coeffs.shape[1]
+    cost = np.zeros(case.n_gen)
+    # Horner evaluation over the padded coefficient matrix (leading zeros for
+    # generators with fewer terms contribute nothing).
+    for k in range(ncost_max):
+        cost = cost * Pg_mw + case.gencost.coeffs[:, k]
+    return cost
+
+
+def polynomial_cost_derivatives(case: Case, Pg_mw: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """First and second derivatives of the per-generator cost w.r.t. ``Pg`` in MW."""
+    Pg_mw = np.asarray(Pg_mw, dtype=float)
+    coeffs = case.gencost.coeffs
+    ncost_max = coeffs.shape[1]
+    powers = np.arange(ncost_max - 1, -1, -1, dtype=float)
+
+    d1 = np.zeros(case.n_gen)
+    d2 = np.zeros(case.n_gen)
+    for k in range(ncost_max):
+        p = powers[k]
+        if p >= 1:
+            d1 += coeffs[:, k] * p * Pg_mw ** (p - 1)
+        if p >= 2:
+            d2 += coeffs[:, k] * p * (p - 1) * Pg_mw ** (p - 2)
+    return d1, d2
+
+
+def total_cost(case: Case, Pg_mw: np.ndarray) -> float:
+    """Total system generation cost ($/h) for in-service generators."""
+    on = case.gen.status > 0
+    return float(polynomial_cost(case, Pg_mw)[on].sum())
+
+
+def objective(model: OPFModel, x: np.ndarray) -> Tuple[float, np.ndarray, sp.csr_matrix]:
+    """OPF objective ``f(x)``, gradient and (diagonal) Hessian in optimisation space.
+
+    Only the ``Pg`` block of ``x`` enters the objective.
+    """
+    case = model.case
+    base = case.base_mva
+    Pg_mw = x[model.idx.pg] * base
+    on = (case.gen.status > 0).astype(float)
+
+    cost = polynomial_cost(case, Pg_mw) * on
+    d1, d2 = polynomial_cost_derivatives(case, Pg_mw)
+    d1, d2 = d1 * on, d2 * on
+
+    f = float(cost.sum())
+    df = np.zeros(model.idx.nx)
+    df[model.idx.pg] = d1 * base  # d cost / d Pg_pu
+
+    nx = model.idx.nx
+    pg_idx = np.arange(model.idx.pg.start, model.idx.pg.stop)
+    d2f = sp.csr_matrix((d2 * base * base, (pg_idx, pg_idx)), shape=(nx, nx))
+    return f, df, d2f

@@ -1,0 +1,90 @@
+"""Lagrangian Hessian of the AC-OPF problem.
+
+MIPS takes exact Newton steps, so it needs the Hessian of::
+
+    L(x, λ, µ) = σ·f(x) + λᵀ g(x) + µᵀ h(x)
+
+with respect to ``x``.  The cost contributes a diagonal block in ``Pg``; the
+power-balance and branch-flow constraints contribute blocks in ``(Va, Vm)``
+assembled from the second-derivative kernels of
+:mod:`repro.powerflow.hessians`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.opf.costs import objective
+from repro.opf.model import OPFModel
+from repro.powerflow.derivatives import dSbr_dV
+from repro.powerflow.hessians import d2ASbr_dV2, d2Sbus_dV2
+
+
+def lagrangian_hessian(
+    model: OPFModel,
+    x: np.ndarray,
+    lam_nl: np.ndarray,
+    mu_nl: np.ndarray,
+    cost_mult: float = 1.0,
+) -> sp.csr_matrix:
+    """Hessian of the Lagrangian w.r.t. the optimisation vector.
+
+    ``lam_nl`` holds the multipliers of the 2·nb power-balance rows (real rows
+    first) and ``mu_nl`` those of the branch-flow rows (from-end rows first);
+    bound multipliers never appear because bound constraints are linear.
+    """
+    case = model.case
+    nb, ng = case.n_bus, case.n_gen
+    V = model.complex_voltage(x)
+
+    _, _, d2f = objective(model, x)
+
+    # ----------------------------------------------------- power balance part
+    lamP = lam_nl[:nb]
+    lamQ = lam_nl[nb : 2 * nb]
+    Gpaa, Gpav, Gpva, Gpvv = d2Sbus_dV2(model.adm.Ybus, V, lamP)
+    Gqaa, Gqav, Gqva, Gqvv = d2Sbus_dV2(model.adm.Ybus, V, lamQ)
+    Haa = sp.csr_matrix(Gpaa.real) + sp.csr_matrix(Gqaa.imag)
+    Hav = sp.csr_matrix(Gpav.real) + sp.csr_matrix(Gqav.imag)
+    Hva = sp.csr_matrix(Gpva.real) + sp.csr_matrix(Gqva.imag)
+    Hvv = sp.csr_matrix(Gpvv.real) + sp.csr_matrix(Gqvv.imag)
+
+    # ----------------------------------------------------- branch flow part
+    lim = model.limited_branches
+    if lim.size and mu_nl.size:
+        nl = lim.size
+        muF = mu_nl[:nl]
+        muT = mu_nl[nl : 2 * nl]
+        Yf, Yt = model.adm.Yf[lim], model.adm.Yt[lim]
+        Cf, Ct = model.adm.Cf[lim], model.adm.Ct[lim]
+
+        dSf_dVa, dSf_dVm, Sf = dSbr_dV(Yf, Cf, V)
+        dSt_dVa, dSt_dVm, St = dSbr_dV(Yt, Ct, V)
+
+        Hfaa, Hfav, Hfva, Hfvv = d2ASbr_dV2(dSf_dVa, dSf_dVm, Sf, Cf, Yf, V, muF)
+        Htaa, Htav, Htva, Htvv = d2ASbr_dV2(dSt_dVa, dSt_dVm, St, Ct, Yt, V, muT)
+
+        Haa = Haa + Hfaa + Htaa
+        Hav = Hav + Hfav + Htav
+        Hva = Hva + Hfva + Htva
+        Hvv = Hvv + Hfvv + Htvv
+
+    voltage_block = sp.bmat([[Haa, Hav], [Hva, Hvv]], format="csr")
+    H_constraints = sp.bmat(
+        [
+            [voltage_block, None],
+            [None, sp.csr_matrix((2 * ng, 2 * ng))],
+        ],
+        format="csr",
+    )
+    return sp.csr_matrix(d2f * cost_mult + H_constraints)
+
+
+def hessian_function(model: OPFModel):
+    """Return the MIPS Hessian callback for ``model``."""
+
+    def hess_fcn(x: np.ndarray, lam_nl: np.ndarray, mu_nl: np.ndarray, cost_mult: float):
+        return lagrangian_hessian(model, x, lam_nl, mu_nl, cost_mult)
+
+    return hess_fcn

@@ -1,0 +1,142 @@
+"""AC-OPF driver: assemble the MIPS problem for a case/scenario and solve it.
+
+``solve_opf`` is the library's main numerical entry point — the function the
+Smart-PGSim framework accelerates by feeding it predicted warm-start points.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.grid.components import Case
+from repro.mips.options import MIPSOptions
+from repro.mips.solver import mips
+from repro.opf.constraints import constraint_function
+from repro.opf.costs import objective
+from repro.opf.hessian import hessian_function
+from repro.opf.model import OPFModel
+from repro.opf.result import OPFResult, build_opf_result
+from repro.opf.warmstart import WarmStart
+
+
+@dataclass(frozen=True)
+class OPFOptions:
+    """Options for :func:`solve_opf`.
+
+    ``flow_limits`` selects the branch-flow constraint type (``"S"`` squared
+    apparent power, ``"none"`` to ignore ratings); ``init`` selects the
+    default starting point used when no warm start (or a partial one) is
+    supplied.
+    """
+
+    flow_limits: str = "S"
+    init: str = "case"  # "case" or "flat"
+    mips: MIPSOptions = field(default_factory=MIPSOptions)
+
+    def __post_init__(self) -> None:
+        if self.flow_limits not in ("S", "none"):
+            raise ValueError("flow_limits must be 'S' or 'none'")
+        if self.init not in ("case", "flat"):
+            raise ValueError("init must be 'case' or 'flat'")
+
+
+def build_model(case: Case, options: Optional[OPFOptions] = None) -> OPFModel:
+    """Construct (and cache nothing beyond) the OPF model for ``case``."""
+    options = options or OPFOptions()
+    return OPFModel(case, flow_limits=options.flow_limits)
+
+
+def solve_opf(
+    case: Case,
+    warm_start: Optional[WarmStart] = None,
+    Pd_mw: Optional[np.ndarray] = None,
+    Qd_mvar: Optional[np.ndarray] = None,
+    options: Optional[OPFOptions] = None,
+    model: Optional[OPFModel] = None,
+) -> OPFResult:
+    """Solve the AC optimal power flow for ``case``.
+
+    Parameters
+    ----------
+    case:
+        The power-grid case (loads may be overridden per call).
+    warm_start:
+        Optional :class:`WarmStart`; missing components fall back to the
+        solver defaults (the paper's *imprecise default data*).
+    Pd_mw, Qd_mvar:
+        Optional per-bus loads overriding the case values — this is how
+        sampled scenarios are solved without copying the case.
+    options:
+        :class:`OPFOptions` (flow-limit handling, initial point, MIPS options).
+    model:
+        Pre-built :class:`OPFModel` to reuse across scenarios of the same
+        case (avoids rebuilding admittance matrices for every sample).
+    """
+    options = options or OPFOptions()
+    t0 = time.perf_counter()
+    if model is None:
+        model = OPFModel(case, flow_limits=options.flow_limits)
+    elif model.case is not case:
+        raise ValueError("the supplied model was built for a different case object")
+
+    xmin, xmax = model.bounds()
+    x_default = model.default_start() if options.init == "case" else model.flat_start()
+
+    warm = warm_start or WarmStart.cold()
+    warm = warm.clipped_duals()
+    x0 = x_default if warm.x is None else np.asarray(warm.x, dtype=float).copy()
+
+    gh_fcn = constraint_function(model, Pd_mw, Qd_mvar)
+    hess_fcn = hessian_function(model)
+
+    def f_fcn(x: np.ndarray):
+        f, df, _ = objective(model, x)
+        return f, df
+
+    preprocess_seconds = time.perf_counter() - t0
+
+    mips_result = mips(
+        f_fcn,
+        x0,
+        gh_fcn=gh_fcn,
+        hess_fcn=hess_fcn,
+        xmin=xmin,
+        xmax=xmax,
+        lam0=warm.lam,
+        mu0=warm.mu,
+        z0=warm.z,
+        options=options.mips,
+    )
+
+    return build_opf_result(case, model, mips_result, preprocess_seconds, Pd_mw, Qd_mvar)
+
+
+def solve_opf_with_fallback(
+    case: Case,
+    warm_start: WarmStart,
+    Pd_mw: Optional[np.ndarray] = None,
+    Qd_mvar: Optional[np.ndarray] = None,
+    options: Optional[OPFOptions] = None,
+    model: Optional[OPFModel] = None,
+) -> tuple[OPFResult, bool, float]:
+    """Warm-started solve with automatic cold restart on failure.
+
+    Mirrors the paper's online procedure: if the warm-started solve fails to
+    converge, the solver is re-run from the default initial point so the
+    workflow always produces a converged solution.  Returns
+    ``(result, used_fallback, restart_seconds)``.
+    """
+    first = solve_opf(
+        case, warm_start=warm_start, Pd_mw=Pd_mw, Qd_mvar=Qd_mvar, options=options, model=model
+    )
+    if first.success:
+        return first, False, 0.0
+    retry = solve_opf(
+        case, warm_start=None, Pd_mw=Pd_mw, Qd_mvar=Qd_mvar, options=options, model=model
+    )
+    retry.message = f"warm start failed ({first.message}); restarted from default"
+    return retry, True, first.total_seconds

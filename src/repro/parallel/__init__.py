@@ -1,0 +1,17 @@
+"""Parallel scenario sweeps and the multi-worker scaling model."""
+
+from repro.parallel.cluster import PAPER_WORKER_COUNTS, ClusterModel, calibrate_from_inference
+from repro.parallel.pool import ScenarioOutcome, SweepResult, run_scenario_sweep
+from repro.parallel.scenarios import Scenario, ScenarioSet, generate_scenarios
+
+__all__ = [
+    "Scenario",
+    "ScenarioSet",
+    "generate_scenarios",
+    "ScenarioOutcome",
+    "SweepResult",
+    "run_scenario_sweep",
+    "ClusterModel",
+    "calibrate_from_inference",
+    "PAPER_WORKER_COUNTS",
+]

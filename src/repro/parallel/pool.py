@@ -1,0 +1,143 @@
+"""Process-pool scenario runner.
+
+The SC-ACOPF scenario sweep is embarrassingly parallel: each worker receives a
+batch of scenarios, produces warm starts with the trained model and solves
+them independently.  This module distributes that sweep over CPU processes —
+the same scatter → compute → gather structure as the paper's multi-GPU data
+parallelism, with processes standing in for GPUs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.grid.components import Case
+from repro.opf.model import OPFModel
+from repro.opf.solver import OPFOptions, solve_opf
+from repro.opf.warmstart import WarmStart
+from repro.parallel.scenarios import Scenario, ScenarioSet
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Result of one scenario solve."""
+
+    scenario_id: int
+    success: bool
+    iterations: int
+    objective: float
+    solve_seconds: float
+    worker: int = 0
+
+
+@dataclass
+class SweepResult:
+    """Aggregated outcome of a scenario sweep."""
+
+    case_name: str
+    n_workers: int
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of solved scenarios."""
+        return len(self.outcomes)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of scenarios that converged."""
+        return float(np.mean([o.success for o in self.outcomes])) if self.outcomes else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Scenarios per wall-clock second."""
+        return self.n_scenarios / self.wall_seconds if self.wall_seconds > 0 else float("nan")
+
+    def total_solver_seconds(self) -> float:
+        """Sum of per-scenario solver times (the serial-equivalent work)."""
+        return float(sum(o.solve_seconds for o in self.outcomes))
+
+
+def _solve_batch(args) -> List[ScenarioOutcome]:
+    """Worker entry point: solve a batch of scenarios (module-level for pickling)."""
+    case, scenarios, warm_starts, options, worker_id = args
+    model = OPFModel(case, flow_limits=options.flow_limits)
+    outcomes = []
+    for scenario, warm in zip(scenarios, warm_starts):
+        t0 = time.perf_counter()
+        result = solve_opf(
+            case,
+            warm_start=warm,
+            Pd_mw=scenario.Pd,
+            Qd_mvar=scenario.Qd,
+            options=options,
+            model=model,
+        )
+        outcomes.append(
+            ScenarioOutcome(
+                scenario_id=scenario.scenario_id,
+                success=result.success,
+                iterations=result.iterations,
+                objective=result.objective,
+                solve_seconds=time.perf_counter() - t0,
+                worker=worker_id,
+            )
+        )
+    return outcomes
+
+
+def run_scenario_sweep(
+    case: Case,
+    scenario_set: ScenarioSet,
+    warm_starts: Optional[List[Optional[WarmStart]]] = None,
+    n_workers: int = 1,
+    options: Optional[OPFOptions] = None,
+) -> SweepResult:
+    """Solve every scenario of ``scenario_set`` using ``n_workers`` processes.
+
+    ``warm_starts`` is an optional per-scenario list (``None`` entries mean a
+    cold start); it is typically produced by batched MTL inference in the
+    parent process.  ``n_workers=1`` runs everything in-process, which is what
+    the unit tests use.
+    """
+    options = options or OPFOptions()
+    if warm_starts is None:
+        warm_starts = [None] * len(scenario_set)
+    if len(warm_starts) != len(scenario_set):
+        raise ValueError("warm_starts must have one entry per scenario")
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+
+    chunks = scenario_set.partition(n_workers)
+    warm_chunks: List[List[Optional[WarmStart]]] = []
+    offset = 0
+    for chunk in chunks:
+        warm_chunks.append(warm_starts[offset : offset + len(chunk)])
+        offset += len(chunk)
+
+    jobs = [
+        (case, list(chunk), warm_chunk, options, worker_id)
+        for worker_id, (chunk, warm_chunk) in enumerate(zip(chunks, warm_chunks))
+        if len(chunk) > 0
+    ]
+
+    start = time.perf_counter()
+    if n_workers == 1:
+        results = [_solve_batch(job) for job in jobs]
+    else:
+        ctx = mp.get_context("spawn")
+        with ctx.Pool(processes=n_workers) as pool:
+            results = pool.map(_solve_batch, jobs)
+    wall = time.perf_counter() - start
+
+    sweep = SweepResult(case_name=case.name, n_workers=n_workers, wall_seconds=wall)
+    for batch in results:
+        sweep.outcomes.extend(batch)
+    sweep.outcomes.sort(key=lambda o: o.scenario_id)
+    return sweep

@@ -1,0 +1,110 @@
+"""SC-ACOPF scenario generation.
+
+Security-constrained AC-OPF (Section VIII-E) analyses a large tree of largely
+independent scenarios: base-load variations, localised stress and single
+branch outages (N-1 contingencies).  This module generates such scenario sets;
+the pool runner and the cluster model consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.grid.components import Case
+from repro.grid.perturb import LoadSample, sample_loads
+from repro.utils.rng import RNGLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One SC-ACOPF scenario: a load realisation plus an optional branch outage."""
+
+    scenario_id: int
+    Pd: np.ndarray
+    Qd: np.ndarray
+    outage_branch: Optional[int] = None
+
+    def apply(self, case: Case) -> Case:
+        """Return a copy of ``case`` with this scenario's loads and outage applied."""
+        scenario_case = case.with_loads(self.Pd, self.Qd, name=f"{case.name}#sc{self.scenario_id}")
+        if self.outage_branch is not None:
+            scenario_case.branch.status[self.outage_branch] = 0
+        return scenario_case
+
+    def feature_vector(self, base_mva: float) -> np.ndarray:
+        """Model input vector ``[Pd, Qd]`` in p.u."""
+        return np.concatenate([self.Pd, self.Qd]) / base_mva
+
+
+@dataclass
+class ScenarioSet:
+    """A batch of scenarios for one case."""
+
+    case_name: str
+    scenarios: List[Scenario] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self):
+        return iter(self.scenarios)
+
+    def __getitem__(self, index: int) -> Scenario:
+        return self.scenarios[index]
+
+    def partition(self, n_parts: int) -> List["ScenarioSet"]:
+        """Split into ``n_parts`` near-equal chunks (the per-worker batches)."""
+        if n_parts < 1:
+            raise ValueError("n_parts must be positive")
+        chunks = np.array_split(np.arange(len(self.scenarios)), n_parts)
+        return [
+            ScenarioSet(self.case_name, [self.scenarios[i] for i in chunk]) for chunk in chunks
+        ]
+
+    def feature_matrix(self, base_mva: float) -> np.ndarray:
+        """Stacked model inputs for batched inference."""
+        return np.vstack([s.feature_vector(base_mva) for s in self.scenarios])
+
+
+def generate_scenarios(
+    case: Case,
+    n_scenarios: int,
+    variation: float = 0.1,
+    contingency_fraction: float = 0.0,
+    seed: RNGLike = 0,
+) -> ScenarioSet:
+    """Generate ``n_scenarios`` load scenarios, optionally with N-1 outages.
+
+    ``contingency_fraction`` of the scenarios additionally drop one random
+    in-service, non-bridging branch (bridges are avoided crudely by only
+    dropping branches whose removal keeps every bus degree at least one).
+    """
+    if not 0.0 <= contingency_fraction <= 1.0:
+        raise ValueError("contingency_fraction must be in [0, 1]")
+    rng = ensure_rng(seed)
+    loads = sample_loads(case, n_scenarios, variation=variation, seed=rng)
+
+    # Candidate branches for outages: those whose endpoints have degree >= 2.
+    f, t = case.branch_bus_indices()
+    degree = np.zeros(case.n_bus, dtype=int)
+    for a, b in zip(f, t):
+        degree[a] += 1
+        degree[b] += 1
+    candidates = [
+        l
+        for l in range(case.n_branch)
+        if case.branch.status[l] > 0 and degree[f[l]] > 1 and degree[t[l]] > 1
+    ]
+
+    scenarios = []
+    for i, sample in enumerate(loads):
+        outage = None
+        if candidates and rng.random() < contingency_fraction:
+            outage = int(rng.choice(candidates))
+        scenarios.append(
+            Scenario(scenario_id=i, Pd=sample.Pd, Qd=sample.Qd, outage_branch=outage)
+        )
+    return ScenarioSet(case_name=case.name, scenarios=scenarios)

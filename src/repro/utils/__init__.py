@@ -1,0 +1,7 @@
+"""Small shared utilities: RNG handling, timing and logging helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer, timed
+from repro.utils.logging import get_logger
+
+__all__ = ["ensure_rng", "spawn_rngs", "Timer", "timed", "get_logger"]

@@ -1,0 +1,23 @@
+"""Logging helpers.
+
+The library never configures the root logger; it only creates namespaced
+loggers under ``repro.*`` so applications embedding the library keep control
+of handlers and levels.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("mips")`` returns the ``repro.mips`` logger.  Fully-qualified
+    names (already starting with ``repro``) are used as-is.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    logger = logging.getLogger(name)
+    logger.addHandler(logging.NullHandler())
+    return logger

@@ -1,0 +1,55 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None``.  :func:`ensure_rng`
+normalises all three into a ``Generator`` so results are reproducible when a
+seed is supplied and independent when one is not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RNGLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: RNGLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a ``SeedSequence`` or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RNGLike, n: int) -> Sequence[np.random.Generator]:
+    """Deterministically derive ``n`` independent generators from ``seed``.
+
+    Used by the parallel scenario runner so each worker draws from its own
+    stream regardless of scheduling order.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    elif isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def derive_seed(seed: Optional[int], index: int) -> int:
+    """Return a stable 32-bit seed derived from ``seed`` and ``index``."""
+    base = 0 if seed is None else int(seed)
+    mixed = np.random.SeedSequence([base, int(index)]).generate_state(1)[0]
+    return int(mixed)

@@ -1,0 +1,76 @@
+"""Lightweight timing utilities used by the benchmark harness and the
+online driver's runtime breakdown (Fig. 5)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    ``Timer`` collects wall-clock durations per label so the online driver can
+    report the pre-processing / Newton-update / inference / restart breakdown
+    of Fig. 5 without sprinkling ``time.perf_counter`` calls around.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, label: str) -> Iterator[None]:
+        """Context manager accumulating elapsed time under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.add(label, elapsed)
+
+    def add(self, label: str, seconds: float) -> None:
+        """Add ``seconds`` to ``label``'s accumulated total."""
+        self.totals[label] = self.totals.get(label, 0.0) + float(seconds)
+        self.counts[label] = self.counts.get(label, 0) + 1
+
+    def total(self, label: str) -> float:
+        """Accumulated seconds for ``label`` (0.0 if never recorded)."""
+        return self.totals.get(label, 0.0)
+
+    def overall(self) -> float:
+        """Sum of all recorded sections."""
+        return float(sum(self.totals.values()))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of the per-label totals."""
+        return dict(self.totals)
+
+    def merge(self, other: "Timer") -> None:
+        """Fold another timer's totals into this one."""
+        for label, seconds in other.totals.items():
+            self.add(label, seconds)
+        for label, count in other.counts.items():
+            # ``add`` already incremented counts by one per label; adjust so the
+            # merged count reflects the source timer's true call count.
+            self.counts[label] += count - 1
+
+
+@contextmanager
+def timed() -> Iterator["_TimedResult"]:
+    """Context manager yielding an object whose ``.seconds`` is filled on exit."""
+    result = _TimedResult()
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result.seconds = time.perf_counter() - start
+
+
+class _TimedResult:
+    """Mutable holder for :func:`timed`."""
+
+    def __init__(self) -> None:
+        self.seconds: float = 0.0

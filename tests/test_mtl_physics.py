@@ -1,0 +1,167 @@
+"""Tests of the physics-informed loss terms."""
+
+import numpy as np
+import pytest
+
+from repro.data import TASK_NAMES
+from repro.mtl import PhysicsContext, f_ac, f_cost, f_ieq, f_lag, physics_losses
+from repro.mtl.physics import equality_values, inequality_values, predicted_cost
+from repro.nn import Tensor
+from repro.opf.costs import total_cost
+
+
+@pytest.fixture(scope="module")
+def ctx9(opf_model9):
+    return PhysicsContext.from_model(opf_model9)
+
+
+def _prediction_from_solution(opf_model9, dataset, index):
+    """Exact solver values packaged as a 'prediction' batch of size 1."""
+    return {task: Tensor(dataset.targets[task][index : index + 1]) for task in TASK_NAMES}
+
+
+def _loads(dataset, index, nb):
+    return dataset.inputs[index : index + 1, :nb], dataset.inputs[index : index + 1, nb:]
+
+
+def test_context_dimensions(ctx9, case9_fixture):
+    assert ctx9.n_bus == 9 and ctx9.n_gen == 3
+    assert ctx9.Gbus.shape == (9, 9)
+    assert ctx9.n_limited == 9
+    assert ctx9.eq_bound_idx.size == 1  # reference angle
+    # 48 inequality rows total: 18 branch-end rows + 30 bound rows.
+    assert 2 * ctx9.n_limited + ctx9.ub_idx.size + ctx9.lb_idx.size == 48
+
+
+def test_f_ac_is_small_at_exact_solution(ctx9, opf_model9, dataset9):
+    pred = _prediction_from_solution(opf_model9, dataset9, 0)
+    Pd, Qd = _loads(dataset9, 0, 9)
+    value = f_ac(ctx9, pred, Pd, Qd).item()
+    assert value < 1e-4
+
+
+def test_f_ac_grows_with_perturbation(ctx9, opf_model9, dataset9):
+    pred = _prediction_from_solution(opf_model9, dataset9, 0)
+    Pd, Qd = _loads(dataset9, 0, 9)
+    base = f_ac(ctx9, pred, Pd, Qd).item()
+    pred_bad = dict(pred)
+    pred_bad["Pg"] = pred["Pg"] * 1.3
+    assert f_ac(ctx9, pred_bad, Pd, Qd).item() > base + 0.05
+
+
+def test_f_ieq_penalises_bound_violations(ctx9, opf_model9, dataset9):
+    pred = _prediction_from_solution(opf_model9, dataset9, 1)
+    feasible = f_ieq(ctx9, pred).item()
+    pred_bad = dict(pred)
+    pred_bad["Vm"] = pred["Vm"] * 2.0  # far above Vmax = 1.1, overloads branches too
+    violated = f_ieq(ctx9, pred_bad).item()
+    assert violated > 2.0 * feasible
+    # Mild perturbations inside the feasible region barely move the penalty.
+    pred_ok = dict(pred)
+    pred_ok["Vm"] = pred["Vm"] * 0.99
+    assert abs(f_ieq(ctx9, pred_ok).item() - feasible) < violated - feasible
+
+
+def test_f_cost_zero_for_exact_cost(ctx9, opf_model9, dataset9, case9_fixture):
+    pred = _prediction_from_solution(opf_model9, dataset9, 2)
+    value = f_cost(ctx9, pred, dataset9.objectives[2:3]).item()
+    assert value < 1e-6
+    # Consistency of the tensor cost with the reference implementation.
+    cost = predicted_cost(ctx9, pred).data[0]
+    Pg_mw = dataset9.targets["Pg"][2] * case9_fixture.base_mva
+    assert cost == pytest.approx(total_cost(case9_fixture, Pg_mw), rel=1e-9)
+
+
+def test_f_lag_small_at_solution_large_for_perturbed(ctx9, opf_model9, dataset9, rng):
+    pred = _prediction_from_solution(opf_model9, dataset9, 3)
+    Pd, Qd = _loads(dataset9, 3, 9)
+    good = f_lag(ctx9, pred, Pd, Qd).item()
+    assert good < 1e-6
+    # Breaking the power balance (higher dispatch) makes λᵀg(X) large because
+    # the balance multipliers are the (non-zero) locational marginal prices.
+    pred_bad = dict(pred)
+    pred_bad["Pg"] = pred["Pg"] * 1.2
+    bad = f_lag(ctx9, pred_bad, Pd, Qd).item()
+    assert bad > good + 1e-3
+
+
+def test_constraint_value_orderings_match_solver(ctx9, opf_model9, dataset9):
+    """g(X*) ≈ 0 and h(X*) + Z* ≈ 0 at the exact solution (complementarity layout check)."""
+    pred = _prediction_from_solution(opf_model9, dataset9, 4)
+    Pd, Qd = _loads(dataset9, 4, 9)
+    g = equality_values(ctx9, pred, Pd, Qd).data
+    h = inequality_values(ctx9, pred).data
+    z = dataset9.targets["z"][4]
+    assert g.shape == (1, 19)
+    assert h.shape == (1, 48)
+    assert np.abs(g).max() < 1e-4
+    assert np.abs(h + z).max() < 1e-4
+
+
+def test_physics_losses_aggregate_and_weights(ctx9, opf_model9, dataset9):
+    pred = _prediction_from_solution(opf_model9, dataset9, 5)
+    Pd, Qd = _loads(dataset9, 5, 9)
+    f0 = dataset9.objectives[5:6]
+    terms = physics_losses(ctx9, pred, Pd, Qd, f0, weights={"f_ac": 2.0, "f_ieq": 0.0, "f_cost": 1.0, "f_lag": 1.0})
+    assert set(terms) == {"f_ac", "f_ieq", "f_cost", "f_lag", "total"}
+    assert terms["f_ieq"].item() == 0.0
+    recomputed = terms["f_ac"].item() + terms["f_ieq"].item() + terms["f_cost"].item() + terms["f_lag"].item()
+    assert terms["total"].item() == pytest.approx(recomputed, rel=1e-9)
+
+
+def test_physics_losses_are_differentiable(ctx9, opf_model9, dataset9):
+    """Gradients must flow back to every predicted quantity."""
+    index = 6
+    pred = {
+        task: Tensor(dataset9.targets[task][index : index + 1], requires_grad=True)
+        for task in TASK_NAMES
+    }
+    Pd, Qd = _loads(dataset9, index, 9)
+    terms = physics_losses(
+        ctx9, pred, Pd, Qd, dataset9.objectives[index : index + 1],
+        weights={"f_ac": 1.0, "f_ieq": 1.0, "f_cost": 1.0, "f_lag": 1.0},
+    )
+    terms["total"].backward()
+    for task in ("Va", "Vm", "Pg", "Qg", "lam", "mu", "z"):
+        assert pred[task].grad is not None
+        assert np.all(np.isfinite(pred[task].grad))
+
+
+def test_f_ac_gradient_matches_finite_differences(ctx9, opf_model9, dataset9):
+    """Spot-check the autograd gradient of the power-balance loss against FD.
+
+    The check is performed away from the exact solution: at the optimum the
+    mismatch is zero and the absolute value inside ``f_AC`` sits on its kink,
+    where finite differences are meaningless.
+    """
+    index = 0
+    Pd, Qd = _loads(dataset9, index, 9)
+    # Perturb the operating point *non-uniformly* so that every nodal mismatch
+    # (including the zero-injection buses) is clearly non-zero: the |·| terms
+    # are then locally smooth and finite differences are meaningful.
+    bus_jitter = 0.03 * np.cos(np.arange(9))
+    base = dataset9.targets["Va"][index : index + 1] + bus_jitter
+    vm_scaled = dataset9.targets["Vm"][index : index + 1] * (1.0 + 0.02 * np.sin(np.arange(9) + 1.0))
+    pg_scaled = dataset9.targets["Pg"][index : index + 1] * 1.15
+
+    def perturbed_prediction(va_array):
+        pred = _prediction_from_solution(opf_model9, dataset9, index)
+        pred["Va"] = Tensor(va_array) if not isinstance(va_array, Tensor) else va_array
+        pred["Vm"] = Tensor(vm_scaled)
+        pred["Pg"] = Tensor(pg_scaled)
+        return pred
+
+    va_tensor = Tensor(base.copy(), requires_grad=True)
+    f_ac(ctx9, perturbed_prediction(va_tensor), Pd, Qd).backward()
+    grad = va_tensor.grad.copy()
+
+    eps = 1e-6
+    for j in (0, 3, 7):
+        vp, vm = base.copy(), base.copy()
+        vp[0, j] += eps
+        vm[0, j] -= eps
+        fd = (
+            f_ac(ctx9, perturbed_prediction(vp), Pd, Qd).item()
+            - f_ac(ctx9, perturbed_prediction(vm), Pd, Qd).item()
+        ) / (2 * eps)
+        assert grad[0, j] == pytest.approx(fd, rel=1e-4, abs=1e-7)
