@@ -23,6 +23,18 @@ def test_bench_fig5_breakdown(benchmark, frameworks):
             f"{norm['inference']:>8.3f} {norm['restart']:>8.3f} {norm['smart_pgsim_total']:>8.3f}"
         )
 
+    # The measured MIPS component times behind the Newton-update bar, from the
+    # per-iteration instrumentation (callback evaluation, KKT assembly,
+    # factorisation, back-substitution).
+    print("\nNewton-update components (fractions of the warm-solve time)")
+    print(f"{'system':>8} {'eval':>8} {'assembly':>9} {'factor':>8} {'backsolve':>10}")
+    for name, bd in breakdowns.items():
+        frac = bd.newton_phase_fractions()
+        print(
+            f"{name:>8} {frac.get('eval', 0.0):>8.3f} {frac.get('assembly', 0.0):>9.3f} "
+            f"{frac.get('factorization', 0.0):>8.3f} {frac.get('backsolve', 0.0):>10.3f}"
+        )
+
     for name, bd in breakdowns.items():
         norm = bd.normalized()
         # Smart-PGSim's total is well below the MIPS-only bar (the Fig. 5 story)...
@@ -30,3 +42,9 @@ def test_bench_fig5_breakdown(benchmark, frameworks):
         # ...and the Newton update dominates its remaining runtime, with the MTL
         # inference being a small extra overhead.
         assert norm["newton_update"] > norm["inference"]
+        # The instrumented component times must be present and account for a
+        # meaningful share of the warm solve (they exclude only Python-level
+        # stepping overhead between phases).
+        frac = bd.newton_phase_fractions()
+        assert set(frac) >= {"eval", "assembly", "factorization", "backsolve"}
+        assert 0.0 < sum(frac.values()) <= 1.0

@@ -1,0 +1,192 @@
+"""KKT fast-path micro-benchmark: per-iteration assembly + solve.
+
+Times one MIPS Newton-system iteration on the largest bundled case
+(``case300s``), comparing the seed path against the structure-cached fast
+path.  Both paths start from the same freshly evaluated kernel blocks (the
+callback *evaluation* is excluded — it is identical in both) and perform the
+per-iteration work the seed re-did from scratch every time:
+
+* stitching the Lagrangian-Hessian kernel blocks into the full matrix
+  (``sp.bmat`` + CSR re-conversion vs. one structure-cached scatter),
+* stacking the constant bound rows under the constraint Jacobians
+  (``sp.vstack`` vs. cached scatter),
+* forming the reduced Newton system ``M``/``N`` and the KKT block matrix,
+* the sparse linear solve (``spsolve`` with fresh symbolic analysis vs.
+  ``FactorizedSolver`` with the cached fill-reducing permutation).
+
+The numeric data changes every repetition (as across real MIPS iterations)
+while the sparsity pattern stays fixed — the regime the fast path exploits.
+The speedup is recorded in the benchmark trajectory via ``extra_info``.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.grid import get_case
+from repro.mips.linsolve import FactorizedSolver
+from repro.mips.solver import _BoundHandler, _KKTAssembler
+from repro.opf import OPFModel
+from repro.opf.constraints import constraint_function
+from repro.opf.costs import objective
+from repro.opf.hessian import hessian_blocks
+from repro.utils.sparse import CachedBmat
+
+#: Repetitions per path; the data is rescaled every rep so nothing can be
+#: cached beyond the sparsity structure.
+N_REPS = 30
+
+
+@pytest.fixture(scope="module")
+def newton_inputs():
+    """Freshly evaluated Newton-system ingredients for case300s."""
+    case = get_case("case300s")
+    model = OPFModel(case)
+    xmin, xmax = model.bounds()
+    x = model.default_start()
+
+    bounds = _BoundHandler(x.size, xmin, xmax, 1e-10)
+    x = bounds.interior_start(x)
+    gh_fcn = constraint_function(model)
+    g_nl, h_nl, Jg_nl, Jh_nl = gh_fcn(x)
+    g, h, Jg, Jh = bounds.assemble(x, g_nl, h_nl, Jg_nl, Jh_nl)
+    neq, niq = g.size, h.size
+
+    lam = 0.1 * np.ones(neq)
+    mu = np.ones(niq)
+    z = np.maximum(-h, 1.0)
+
+    Haa, Hav, Hva, Hvv, Dgg = hessian_blocks(
+        model, x, lam[: g_nl.size], mu[: h_nl.size], 1.0
+    )
+    _, df, _ = objective(model, x)
+    Lx = df + Jg.T @ lam + Jh.T @ mu
+
+    nx = x.size
+    ng = case.n_gen
+    return {
+        "x": x, "bounds": bounds, "nx": nx, "ng": ng,
+        "g_nl": g_nl, "h_nl": h_nl, "Jg_nl": sp.csr_matrix(Jg_nl),
+        "Jh_nl": sp.csr_matrix(Jh_nl),
+        "blocks": (Haa, Hav, Hva, Hvv, Dgg),
+        "Lx": Lx, "z": z, "mu": mu, "gamma": 1.0,
+    }
+
+
+def _vary(inp, rep):
+    """Fresh numeric values for one repetition (same sparsity pattern)."""
+    scale = 1.0 + 0.01 * rep
+    Haa, Hav, Hva, Hvv, Dgg = inp["blocks"]
+    Haa = Haa.copy()
+    Haa.data = Haa.data * scale
+    return (Haa, Hav, Hva, Hvv, Dgg), inp["z"] * scale, inp["mu"] / scale
+
+
+def _legacy_iteration(inp, blocks, z, mu):
+    """The seed per-iteration path: full symbolic assembly + spsolve."""
+    Haa, Hav, Hva, Hvv, Dgg = blocks
+    x, bounds = inp["x"], inp["bounds"]
+    nx, ng = inp["nx"], inp["ng"]
+
+    # Seed Hessian assembly: nested bmat + dense-diag add + CSR re-conversion.
+    voltage_block = sp.bmat([[Haa, Hav], [Hva, Hvv]], format="csr")
+    H_constraints = sp.bmat(
+        [[voltage_block, None], [None, sp.csr_matrix((2 * ng, 2 * ng))]],
+        format="csr",
+    )
+    pad = sp.csr_matrix((nx - 2 * ng, nx - 2 * ng))
+    d2f = sp.bmat([[pad, None], [None, Dgg]], format="csr")
+    Lxx = sp.csr_matrix(d2f + H_constraints)
+
+    # Seed bound-row stacking: re-vstack the constant rows every evaluation.
+    Jg = sp.vstack([sp.csr_matrix(inp["Jg_nl"]), bounds._E_eq], format="csr")
+    Jh = sp.vstack(
+        [sp.csr_matrix(inp["Jh_nl"]), bounds._E_ub, bounds._E_lb], format="csr"
+    )
+    g = np.concatenate([inp["g_nl"], x[bounds.eq_idx] - bounds.xmin[bounds.eq_idx]])
+    h = np.concatenate(
+        [
+            inp["h_nl"],
+            x[bounds.ub_idx] - bounds.xmax[bounds.ub_idx],
+            bounds.xmin[bounds.lb_idx] - x[bounds.lb_idx],
+        ]
+    )
+
+    # Seed Newton system: rebuilt block matrix, spsolve with fresh analysis.
+    e = np.ones(h.size)
+    zinv = 1.0 / z
+    dh_zinv = Jh.T @ sp.diags(zinv)
+    M = Lxx + dh_zinv @ sp.diags(mu) @ Jh
+    N = inp["Lx"] + dh_zinv @ (mu * h + inp["gamma"] * e)
+    kkt = sp.bmat([[M, Jg.T], [Jg, None]], format="csc")
+    rhs = np.concatenate([-N, -g])
+    return spla.spsolve(kkt, rhs)
+
+
+def test_bench_kkt_fastpath(benchmark, newton_inputs):
+    inp = newton_inputs
+    bounds = inp["bounds"]
+    x = inp["x"]
+    assembler = _KKTAssembler()
+    solver = FactorizedSolver()
+    hess_cache = CachedBmat("csr")
+
+    def fast_iteration(rep):
+        blocks, z, mu = _vary(inp, rep)
+        Haa, Hav, Hva, Hvv, Dgg = blocks
+        Lxx = hess_cache.assemble(
+            [[Haa, Hav, None], [Hva, Hvv, None], [None, None, Dgg]]
+        )
+        g, h, Jg, Jh = bounds.assemble(
+            x, inp["g_nl"], inp["h_nl"], inp["Jg_nl"], inp["Jh_nl"]
+        )
+        kkt, rhs = assembler.build(
+            Lxx, Jg, Jh, inp["Lx"], g, h, z, mu, inp["gamma"]
+        )
+        return solver.solve(kkt, rhs)
+
+    # Warm both paths once (builds the structure caches / permutation) and
+    # check they produce the same Newton step.
+    sol_fast = fast_iteration(0)
+    sol_legacy = _legacy_iteration(inp, *_vary(inp, 0))
+    assert np.allclose(sol_fast, sol_legacy, atol=1e-6)
+
+    t0 = time.perf_counter()
+    for rep in range(1, N_REPS + 1):
+        _legacy_iteration(inp, *_vary(inp, rep))
+    legacy_seconds = (time.perf_counter() - t0) / N_REPS
+
+    state = {"rep": 0}
+
+    def one_fast_iteration():
+        state["rep"] += 1
+        return fast_iteration(state["rep"])
+
+    benchmark.pedantic(one_fast_iteration, rounds=N_REPS, iterations=1)
+    fast_seconds = benchmark.stats.stats.mean
+    speedup = legacy_seconds / fast_seconds
+
+    benchmark.extra_info["legacy_ms_per_iter"] = legacy_seconds * 1e3
+    benchmark.extra_info["fast_ms_per_iter"] = fast_seconds * 1e3
+    benchmark.extra_info["speedup"] = speedup
+
+    print(
+        f"\nKKT assembly+solve per iteration (case300s): "
+        f"legacy {legacy_seconds * 1e3:.2f} ms, fast {fast_seconds * 1e3:.2f} ms, "
+        f"speedup {speedup:.2f}x (symbolic reuses: {solver.symbolic_reuses})"
+    )
+
+    # The fast path must actually have reused the cached structure...
+    assert solver.symbolic_reuses >= N_REPS
+    # ...and never lose to the seed path outright.  The full speedup target
+    # (>= 1.5x, typically ~1.7x on an idle machine) is wall-clock-sensitive,
+    # so it is asserted only in strict mode to keep shared CI runners from
+    # flaking on noisy-neighbour contention; the measured value is always
+    # recorded in the benchmark trajectory via extra_info above.
+    assert speedup > 0.9
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        assert speedup >= 1.5

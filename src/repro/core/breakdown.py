@@ -7,7 +7,7 @@ warm-started solve), MTL inference and restarts of failed cases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.core.framework import OnlineEvaluation
@@ -15,13 +15,29 @@ from repro.core.framework import OnlineEvaluation
 
 @dataclass(frozen=True)
 class RuntimeBreakdown:
-    """Per-phase wall-clock totals (seconds) for one evaluation set."""
+    """Per-phase wall-clock totals (seconds) for one evaluation set.
+
+    ``newton_phases`` further splits the Newton-update bar into the measured
+    MIPS component times (callback evaluation, KKT assembly, factorisation,
+    back-substitution) collected by the solver instrumentation; it is empty
+    when the evaluation was produced without phase recording.
+    """
 
     preprocess: float
     newton_update: float
     inference: float
     restart: float
     mips_total: float
+    newton_phases: Dict[str, float] = field(default_factory=dict)
+
+    def newton_phase_fractions(self) -> Dict[str, float]:
+        """Measured Newton components as fractions of the warm-solve total."""
+        if self.newton_update <= 0:
+            return {}
+        return {
+            phase: seconds / self.newton_update
+            for phase, seconds in self.newton_phases.items()
+        }
 
     @property
     def smart_total(self) -> float:
@@ -60,4 +76,5 @@ def breakdown_from_evaluation(
         inference=totals["inference"],
         restart=totals["restart"],
         mips_total=totals["cold_solve"] + preprocess,
+        newton_phases=evaluation.solver_phase_totals(),
     )

@@ -70,7 +70,12 @@ class OfflineArtifacts:
 
 @dataclass(frozen=True)
 class OnlineRecord:
-    """Outcome of one online (warm-started) problem."""
+    """Outcome of one online (warm-started) problem.
+
+    ``solver_phase_seconds`` carries the per-phase split of the successful
+    solve (callback evaluation / KKT assembly / factorisation / back
+    substitution) as measured by the MIPS instrumentation.
+    """
 
     scenario_id: int
     success: bool
@@ -83,6 +88,7 @@ class OnlineRecord:
     restart_seconds: float
     cost_warm: float
     cost_cold: float
+    solver_phase_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -147,6 +153,19 @@ class OnlineEvaluation:
             "restart": float(sum(r.restart_seconds for r in self.records)),
             "cold_solve": float(sum(r.cold_solve_seconds for r in self.records)),
         }
+
+    def solver_phase_totals(self) -> Dict[str, float]:
+        """Summed per-phase MIPS component times over the warm-started solves.
+
+        The keys are the MIPS instrumentation phases (``eval``, ``assembly``,
+        ``factorization``, ``backsolve``); these are the *measured* component
+        times behind the Fig. 5 Newton-update bar.
+        """
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            for phase, seconds in record.solver_phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
 
 
 class SmartPGSim:
@@ -275,6 +294,7 @@ class SmartPGSim:
                     restart_seconds=restart_seconds,
                     cost_warm=final.objective,
                     cost_cold=float(dataset.objectives[i]),
+                    solver_phase_seconds=dict(final.phase_seconds),
                 )
             )
         return evaluation

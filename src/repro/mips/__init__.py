@@ -1,5 +1,14 @@
 """MIPS primal-dual interior-point solver (warm-startable)."""
 
+from repro.mips.linsolve import (
+    FactorizedSolver,
+    KKTSolveError,
+    KKTSolver,
+    SpsolveSolver,
+    available_kkt_solvers,
+    make_kkt_solver,
+    register_kkt_solver,
+)
 from repro.mips.options import MIPSOptions
 from repro.mips.qp import qps_mips
 from repro.mips.result import ConstraintPartition, IterationRecord, MIPSResult
@@ -12,4 +21,11 @@ __all__ = [
     "ConstraintPartition",
     "mips",
     "qps_mips",
+    "KKTSolver",
+    "KKTSolveError",
+    "FactorizedSolver",
+    "SpsolveSolver",
+    "available_kkt_solvers",
+    "make_kkt_solver",
+    "register_kkt_solver",
 ]

@@ -1,0 +1,319 @@
+"""Pluggable sparse linear solvers for the MIPS KKT system.
+
+Every MIPS Newton iteration solves one symmetric-indefinite sparse system::
+
+    [ M   Jgᵀ ] [ dx   ]   [ -N ]
+    [ Jg   0  ] [ dlam ] = [ -g ]
+
+whose sparsity pattern is fixed once the constraint structure is known.  The
+seed implementation called ``scipy.sparse.linalg.spsolve`` directly, redoing
+the fill-reducing column ordering (the symbolic analysis) from scratch every
+iteration and failing hard on a singular factorisation.  This module isolates
+the solve behind a small interface (the architecture production interior-point
+codes such as Pyomo's ``contrib.interior_point`` use) so backends can be
+swapped via :class:`~repro.mips.options.MIPSOptions`:
+
+* :class:`FactorizedSolver` — the default.  Factors with ``splu``, reuses the
+  fill-reducing column permutation across pattern-identical systems (computed
+  once, then applied as a cheap data gather + ``NATURAL``-ordered
+  factorisation), retries a singular factorisation with escalating diagonal
+  regularisation, and reports factor / back-substitution times separately.
+* :class:`SpsolveSolver` — the seed behaviour, kept as a fallback backend and
+  as the reference path for the KKT micro-benchmark.
+
+Custom backends can be registered with :func:`register_kkt_solver`.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.utils.sparse import same_pattern
+
+__all__ = [
+    "KKTSolveError",
+    "KKTSolver",
+    "SpsolveSolver",
+    "FactorizedSolver",
+    "available_kkt_solvers",
+    "make_kkt_solver",
+    "register_kkt_solver",
+]
+
+
+class KKTSolveError(RuntimeError):
+    """The KKT system could not be solved (singular beyond regularisation)."""
+
+
+class KKTSolver:
+    """Interface every KKT backend implements.
+
+    ``solve`` returns the solution vector and fills :attr:`factor_seconds` /
+    :attr:`backsolve_seconds` with the wall-clock split of the last call so
+    the MIPS loop can attribute time per phase (the Fig. 5 breakdown).
+    A solver instance lives for one ``mips()`` call and may cache state
+    (factorisations, permutations) across iterations.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        #: Seconds spent factorising in the most recent ``solve`` call.
+        self.factor_seconds = 0.0
+        #: Seconds spent on back-substitution in the most recent call.
+        self.backsolve_seconds = 0.0
+        #: Total diagonal-regularisation retries performed so far.
+        self.regularizations = 0
+
+    def solve(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``kkt @ x = rhs``; raise :class:`KKTSolveError` on failure."""
+        raise NotImplementedError
+
+
+class SpsolveSolver(KKTSolver):
+    """Seed-equivalent backend: one ``spsolve`` call per iteration.
+
+    ``spsolve`` fuses symbolic analysis, numeric factorisation and the back
+    substitution, so the whole call is charged to ``factor_seconds``.
+    """
+
+    name = "spsolve"
+
+    def solve(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+        start = time.perf_counter()
+        try:
+            sol = spla.spsolve(sp.csc_matrix(kkt), rhs)
+        except Exception as exc:  # pragma: no cover - scipy error type varies
+            self.factor_seconds = time.perf_counter() - start
+            self.backsolve_seconds = 0.0
+            raise KKTSolveError(f"spsolve failed: {exc}") from exc
+        self.factor_seconds = time.perf_counter() - start
+        self.backsolve_seconds = 0.0
+        return np.asarray(sol, dtype=float)
+
+
+class FactorizedSolver(KKTSolver):
+    """``splu``-based backend with symbolic-pattern reuse and regularisation.
+
+    The first factorisation of a given sparsity pattern computes a fill
+    reducing column permutation (COLAMD).  While the pattern stays fixed —
+    which it does for the entire MIPS iteration once the constraint structure
+    is known — later systems are column-permuted with a precomputed data
+    gather and factorised under the ``NATURAL`` ordering, skipping the
+    symbolic analysis.  A singular factorisation is retried with an
+    escalating diagonal shift ``reg * I`` instead of aborting the solve.
+
+    Parameters
+    ----------
+    regularization:
+        Initial diagonal shift applied on a singular factorisation.
+    reg_growth:
+        Multiplicative escalation factor between retries.
+    max_retries:
+        Number of regularised attempts before giving up.
+    """
+
+    name = "factorized"
+
+    def __init__(
+        self,
+        regularization: float = 1e-8,
+        reg_growth: float = 100.0,
+        max_retries: int = 3,
+        residual_tol: float = 1e-6,
+    ) -> None:
+        super().__init__()
+        if regularization <= 0:
+            raise ValueError("regularization must be positive")
+        if reg_growth <= 1:
+            raise ValueError("reg_growth must exceed 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if residual_tol <= 0:
+            raise ValueError("residual_tol must be positive")
+        self.regularization = regularization
+        self.reg_growth = reg_growth
+        self.max_retries = max_retries
+        #: Relative residual bound for accepting a regularised solution.
+        self.residual_tol = residual_tol
+        self._indptr: Optional[np.ndarray] = None
+        self._indices: Optional[np.ndarray] = None
+        self._perm_c: Optional[np.ndarray] = None
+        self._permuted: Optional[sp.csc_matrix] = None
+        self._data_order: Optional[np.ndarray] = None
+        self._identity: Optional[sp.csc_matrix] = None
+        #: Factorisations that reused the cached column permutation.
+        self.symbolic_reuses = 0
+
+    # ------------------------------------------------------------------ pattern
+    def _pattern_matches(self, kkt: sp.csc_matrix) -> bool:
+        if self._perm_c is None:
+            return False
+        return same_pattern(kkt, self._indptr, self._indices)
+
+    def _cache_pattern(self, kkt: sp.csc_matrix, lu) -> None:
+        self._indptr = kkt.indptr
+        self._indices = kkt.indices
+        # SuperLU reports perm_c such that the low-fill matrix is the one whose
+        # column ``perm_c[j]`` holds original column ``j`` — i.e. we must
+        # reorder columns by the *inverse* permutation to reproduce it.
+        colamd = np.asarray(lu.perm_c)
+        perm = np.empty_like(colamd)
+        perm[colamd] = np.arange(colamd.size)
+        self._perm_c = perm
+        # Column-permuting a CSC matrix only rearranges column slices of the
+        # data/indices arrays; record that rearrangement once as a gather
+        # index and build the permuted matrix from it directly.
+        counts = np.diff(kkt.indptr)
+        lens = counts[perm]
+        starts = kkt.indptr[perm]
+        concat_starts = np.concatenate([[0], np.cumsum(lens)[:-1]])
+        order = np.arange(kkt.nnz, dtype=np.intp) + np.repeat(starts - concat_starts, lens)
+        indptr = np.concatenate([[0], np.cumsum(lens)]).astype(kkt.indptr.dtype)
+        permuted = sp.csc_matrix(
+            (kkt.data[order], kkt.indices[order], indptr), shape=kkt.shape
+        )
+        self._permuted = permuted
+        self._data_order = order
+
+    # -------------------------------------------------------------------- solve
+    def _factorize(self, kkt: sp.csc_matrix):
+        if self._pattern_matches(kkt):
+            permuted = self._permuted
+            permuted.data[...] = kkt.data[self._data_order]
+            lu = spla.splu(permuted, permc_spec="NATURAL")
+            self.symbolic_reuses += 1
+            return lu, self._perm_c
+        lu = spla.splu(kkt)
+        self._cache_pattern(kkt, lu)
+        return lu, None
+
+    def solve(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+        kkt = sp.csc_matrix(kkt)
+        kkt.sort_indices()
+        start = time.perf_counter()
+        self.backsolve_seconds = 0.0
+        regularized = False
+        try:
+            try:
+                lu, perm = self._factorize(kkt)
+            except KKTSolveError:
+                raise
+            except RuntimeError:
+                # SuperLU signals a singular factorisation as RuntimeError:
+                # degrade to the regularised path instead of crashing.
+                lu, perm = self._regularized_factorize(kkt)
+                regularized = True
+            except Exception as exc:
+                # Anything else (memory exhaustion, corrupted inputs) is not a
+                # singularity — fail as a solve error with the real cause.
+                raise KKTSolveError(f"KKT factorisation failed: {exc}") from exc
+        finally:
+            self.factor_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        sol = lu.solve(rhs)
+        if perm is not None:
+            unpermuted = np.empty_like(sol)
+            unpermuted[perm] = sol
+            sol = unpermuted
+        self.backsolve_seconds = time.perf_counter() - start
+        if regularized:
+            # The shifted system only approximates the true one; accept its
+            # solution only when the residual on the *unshifted* KKT is small
+            # (consistent singular systems pass, genuinely degraded steps
+            # fail loudly like the seed path did).
+            residual = float(np.max(np.abs(kkt @ sol - rhs)))
+            if not np.isfinite(residual) or residual > self.residual_tol * (
+                1.0 + float(np.max(np.abs(rhs)))
+            ):
+                raise KKTSolveError(
+                    f"regularised KKT solution rejected (residual {residual:.3e})"
+                )
+            # Count only solutions actually recovered (factored with a shift
+            # AND accepted by the residual check), so the counter and the
+            # solver's end-of-run warning reflect real recoveries.
+            self.regularizations += 1
+        return np.asarray(sol, dtype=float)
+
+    def _regularized_factorize(self, kkt: sp.csc_matrix):
+        """Retry a singular factorisation with escalating diagonal shifts."""
+        if self._identity is None or self._identity.shape != kkt.shape:
+            self._identity = sp.identity(kkt.shape[0], format="csc")
+        reg = self.regularization
+        last_error: Optional[Exception] = None
+        for _ in range(self.max_retries):
+            shifted = (kkt + reg * self._identity).tocsc()
+            try:
+                # The shift changes the pattern only where the diagonal was
+                # structurally empty, so factor without the permutation cache.
+                lu = spla.splu(shifted)
+            except RuntimeError as exc:
+                last_error = exc
+                reg *= self.reg_growth
+                continue
+            except Exception as exc:
+                raise KKTSolveError(f"KKT factorisation failed: {exc}") from exc
+            return lu, None
+        raise KKTSolveError(
+            f"KKT factorisation singular after {self.max_retries} "
+            f"regularised retries (last shift {reg / self.reg_growth:g})"
+        ) from last_error
+
+
+# ---------------------------------------------------------------------- registry
+_SOLVERS: Dict[str, Callable[..., KKTSolver]] = {
+    SpsolveSolver.name: SpsolveSolver,
+    FactorizedSolver.name: FactorizedSolver,
+}
+
+
+def available_kkt_solvers() -> tuple:
+    """Names accepted by :func:`make_kkt_solver` (and ``MIPSOptions.kkt_solver``)."""
+    return tuple(sorted(_SOLVERS))
+
+
+def register_kkt_solver(name: str, factory: Callable[..., KKTSolver]) -> None:
+    """Register a custom KKT backend under ``name``.
+
+    The registry is per-process.  Spawn-based worker pools (e.g.
+    ``repro.parallel.pool``) start fresh interpreters, so a backend selected
+    via ``MIPSOptions.kkt_solver`` must be registered at import time of a
+    module the workers import — a registration done only in the parent's
+    ``__main__`` is invisible to them.
+    """
+    if not name:
+        raise ValueError("solver name must be non-empty")
+    _SOLVERS[name] = factory
+
+
+def make_kkt_solver(name: str, **kwargs) -> KKTSolver:
+    """Instantiate the KKT backend registered under ``name``.
+
+    ``kwargs`` are filtered against the factory's signature so callers (the
+    MIPS loop) can pass the full option set uniformly: backends receive the
+    parameters they support and the rest are dropped, regardless of which
+    backend — built-in or registered — is selected.
+    """
+    try:
+        factory = _SOLVERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown KKT solver {name!r}; available: {', '.join(available_kkt_solvers())}"
+        ) from None
+    if kwargs:
+        try:
+            params = inspect.signature(factory).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            params = None
+        if params is not None and not any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        ):
+            kwargs = {k: v for k, v in kwargs.items() if k in params}
+    return factory(**kwargs)

@@ -38,6 +38,14 @@ class MIPSOptions:
     bound_eq_tol: float = 1e-10
     #: Declare numerical failure when the step or iterate norm exceeds this.
     max_stepsize: float = 1e10
+    #: KKT linear-solver backend: ``"factorized"`` (``splu`` with symbolic
+    #: pattern reuse and singular-matrix regularisation, the fast path) or
+    #: ``"spsolve"`` (the seed behaviour).  See :mod:`repro.mips.linsolve`.
+    kkt_solver: str = "factorized"
+    #: Initial diagonal shift used when a KKT factorisation is singular.
+    kkt_reg: float = 1e-8
+    #: Number of escalating regularisation retries before declaring failure.
+    kkt_max_retries: int = 3
     #: Record per-iteration history (needed for Fig. 10 traces).
     record_history: bool = True
     #: Print one line per iteration via the ``repro.mips`` logger.
@@ -56,3 +64,14 @@ class MIPSOptions:
             raise ValueError("sigma must be in (0, 1]")
         if self.z0 <= 0:
             raise ValueError("z0 must be positive")
+        from repro.mips.linsolve import available_kkt_solvers
+
+        if self.kkt_solver not in available_kkt_solvers():
+            raise ValueError(
+                f"kkt_solver must be one of {available_kkt_solvers()}, "
+                f"got {self.kkt_solver!r}"
+            )
+        if self.kkt_reg <= 0:
+            raise ValueError("kkt_reg must be positive")
+        if self.kkt_max_retries < 0:
+            raise ValueError("kkt_max_retries must be non-negative")

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -14,7 +14,9 @@ class IterationRecord:
 
     ``step_size`` is the infinity norm of the primal Newton step ``|Δx|``; the
     four condition values are exactly the quantities tested against the
-    termination tolerances.
+    termination tolerances.  The four ``*_seconds`` fields split the
+    iteration's wall-clock time into callback evaluation, KKT assembly,
+    factorisation and back-substitution (the Fig. 5 component times).
     """
 
     iteration: int
@@ -27,6 +29,10 @@ class IterationRecord:
     gamma: float
     alpha_primal: float
     alpha_dual: float
+    eval_seconds: float = 0.0
+    assembly_seconds: float = 0.0
+    factor_seconds: float = 0.0
+    backsolve_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -64,7 +70,9 @@ class MIPSResult:
     ``lam`` holds the equality multipliers, ``mu`` the inequality multipliers
     and ``z`` the positive slacks, all in the internal ordering described by
     ``partition``.  ``history`` is non-empty when the solver was configured
-    with ``record_history=True``.
+    with ``record_history=True``.  ``phase_seconds`` aggregates per-phase
+    solver time over all iterations under the keys ``"eval"``, ``"assembly"``,
+    ``"factorization"`` and ``"backsolve"``.
     """
 
     x: np.ndarray
@@ -78,6 +86,11 @@ class MIPSResult:
     message: str = ""
     history: List[IterationRecord] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Number of singular-KKT factorisations recovered by diagonal
+    #: regularisation (0 for a well-posed solve; non-zero flags
+    #: ill-conditioning that the seed solver would have failed hard on).
+    kkt_regularizations: int = 0
 
     @property
     def eflag(self) -> int:

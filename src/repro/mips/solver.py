@@ -16,6 +16,16 @@ paper).  The solver exposes exactly the warm-start surface the paper exploits:
 the primal point ``x``, equality multipliers ``λ``, inequality multipliers
 ``µ`` and slacks ``Z`` can all be supplied as starting values, and the four
 termination conditions are recorded per iteration for the Fig. 10 analysis.
+
+The KKT sparsity pattern is fixed once the constraint structure is known, so
+the Newton system is assembled through structure caches
+(:class:`repro.utils.sparse.CachedBmat`): block layouts are computed once and
+only the numeric ``data`` arrays are refreshed per iteration.  The linear
+solve itself is delegated to a pluggable backend
+(:mod:`repro.mips.linsolve`) selected via ``MIPSOptions.kkt_solver``, and the
+per-phase split (callback evaluation / assembly / factorisation /
+back-substitution) is recorded in the iteration history and aggregated in
+``MIPSResult.phase_seconds`` for the Fig. 5 runtime breakdown.
 """
 
 from __future__ import annotations
@@ -25,11 +35,12 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
+from repro.mips.linsolve import KKTSolveError, make_kkt_solver
 from repro.mips.options import MIPSOptions
 from repro.mips.result import ConstraintPartition, IterationRecord, MIPSResult
 from repro.utils.logging import get_logger
+from repro.utils.sparse import CachedBmat, CachedTranspose, cached_vstack_csr, row_scaled_csr
 
 LOGGER = get_logger("mips")
 
@@ -49,7 +60,12 @@ def _empty_constraints(nx: int) -> Tuple[np.ndarray, np.ndarray, sp.csr_matrix, 
 
 
 class _BoundHandler:
-    """Converts variable bounds into internal equality / inequality rows."""
+    """Converts variable bounds into internal equality / inequality rows.
+
+    The bound-derived selector rows are constant, so the stacked Jacobians are
+    assembled through structure caches: after the first evaluation only the
+    nonlinear blocks' numeric values are copied.
+    """
 
     def __init__(self, nx: int, xmin: np.ndarray, xmax: np.ndarray, eq_tol: float):
         self.nx = nx
@@ -71,6 +87,8 @@ class _BoundHandler:
         self._E_eq = selector(self.eq_idx, 1.0)
         self._E_ub = selector(self.ub_idx, 1.0)
         self._E_lb = selector(self.lb_idx, -1.0)
+        self._Jg_cache = CachedBmat("csr")
+        self._Jh_cache = CachedBmat("csr")
 
     def partition(self, n_eq_nl: int, n_ineq_nl: int) -> ConstraintPartition:
         return ConstraintPartition(
@@ -89,13 +107,13 @@ class _BoundHandler:
         Jg_nl: sp.spmatrix,
         Jh_nl: sp.spmatrix,
     ) -> Tuple[np.ndarray, np.ndarray, sp.csr_matrix, sp.csr_matrix]:
-        """Stack nonlinear constraints with the bound-derived rows."""
+        """Stack nonlinear constraints with the (constant) bound-derived rows."""
         g = np.concatenate([g_nl, x[self.eq_idx] - self.xmin[self.eq_idx]])
         h = np.concatenate(
             [h_nl, x[self.ub_idx] - self.xmax[self.ub_idx], self.xmin[self.lb_idx] - x[self.lb_idx]]
         )
-        Jg = sp.vstack([sp.csr_matrix(Jg_nl), self._E_eq], format="csr")
-        Jh = sp.vstack([sp.csr_matrix(Jh_nl), self._E_ub, self._E_lb], format="csr")
+        Jg = cached_vstack_csr(self._Jg_cache, [Jg_nl, self._E_eq])
+        Jh = cached_vstack_csr(self._Jh_cache, [Jh_nl, self._E_ub, self._E_lb])
         return g, h, Jg, Jh
 
     def interior_start(self, x0: np.ndarray) -> np.ndarray:
@@ -106,6 +124,102 @@ class _BoundHandler:
         x[lb] = np.maximum(x[lb], self.xmin[lb])
         x[ub] = np.minimum(x[ub], self.xmax[ub])
         return x
+
+
+class _KKTAssembler:
+    """Structure-cached assembly of the Newton (KKT) system.
+
+    The reduced system is::
+
+        M = Lxx + Jhᵀ diag(µ/z) Jh
+        N = Lx  + Jhᵀ ((µ∘h + γ) / z)
+        kkt = [[M, Jgᵀ], [Jg, 0]],  rhs = [-N; -g]
+
+    Transposes, the row scaling of ``Jh`` and the final block assembly all
+    reuse their symbolic structure across iterations; the ``1/z`` and
+    row-scaling buffers are preallocated and refreshed in place.
+    """
+
+    def __init__(self) -> None:
+        self._kkt_cache = CachedBmat("csc")
+        self._JhT = CachedTranspose()
+        self._JgT = CachedTranspose()
+        self._zinv: Optional[np.ndarray] = None
+        self._scale_data: Optional[np.ndarray] = None
+
+    def build(
+        self,
+        Lxx: sp.spmatrix,
+        Jg: sp.csr_matrix,
+        Jh: sp.csr_matrix,
+        Lx: np.ndarray,
+        g: np.ndarray,
+        h: np.ndarray,
+        z: np.ndarray,
+        mu: np.ndarray,
+        gamma: float,
+    ) -> Tuple[sp.spmatrix, np.ndarray]:
+        neq, niq = g.size, h.size
+        if niq:
+            if self._zinv is None or self._zinv.size != niq:
+                self._zinv = np.empty(niq)
+            zinv = np.divide(1.0, z, out=self._zinv)
+            JhT = self._JhT.transpose(Jh)
+            if self._scale_data is None or self._scale_data.size != Jh.nnz:
+                self._scale_data = np.empty(Jh.nnz)
+            Jh_scaled = row_scaled_csr(Jh, mu * zinv, out=self._scale_data)
+            M = Lxx + JhT @ Jh_scaled
+            N = Lx + JhT @ ((mu * h + gamma) * zinv)
+        else:
+            M = Lxx
+            N = Lx.copy()
+
+        if neq:
+            JgT = self._JgT.transpose(Jg)
+            kkt = self._kkt_cache.assemble([[M, JgT], [Jg, None]])
+            rhs = np.concatenate([-N, -g])
+        else:
+            kkt = sp.csc_matrix(M)
+            rhs = -N
+        return kkt, rhs
+
+
+def _conditions(
+    f_: float,
+    f0_: float,
+    g_: np.ndarray,
+    h_: np.ndarray,
+    Lx_: np.ndarray,
+    x_: np.ndarray,
+    z_: np.ndarray,
+    lam_: np.ndarray,
+    mu_: np.ndarray,
+) -> Tuple[float, float, float, float]:
+    """The four MIPS termination quantities (feasibility, gradient, complementarity, cost)."""
+    maxh = float(np.max(h_)) if h_.size else -np.inf
+    norm_g = float(np.max(np.abs(g_))) if g_.size else 0.0
+    norm_x = float(np.max(np.abs(x_))) if x_.size else 0.0
+    norm_z = float(np.max(np.abs(z_))) if z_.size else 0.0
+    norm_lam = float(np.max(np.abs(lam_))) if lam_.size else 0.0
+    norm_mu = float(np.max(np.abs(mu_))) if mu_.size else 0.0
+    feascond = max(norm_g, maxh) / (1.0 + max(norm_x, norm_z))
+    gradcond = (float(np.max(np.abs(Lx_))) if Lx_.size else 0.0) / (
+        1.0 + max(norm_lam, norm_mu)
+    )
+    compcond = (float(z_ @ mu_) if z_.size else 0.0) / (1.0 + norm_x)
+    costcond = abs(f_ - f0_) / (1.0 + abs(f0_))
+    return feascond, gradcond, compcond, costcond
+
+
+def _is_converged(conds: Sequence[float], opt: MIPSOptions) -> bool:
+    """Single convergence test used at entry and per iteration (no duplicated logic)."""
+    feascond, gradcond, compcond, costcond = conds
+    return bool(
+        feascond < opt.feastol
+        and gradcond < opt.gradtol
+        and compcond < opt.comptol
+        and costcond < opt.costtol
+    )
 
 
 def mips(
@@ -146,7 +260,8 @@ def mips(
         first, then bound rows) — this is the interface Smart-PGSim's
         predicted warm-start point feeds.
     options:
-        :class:`MIPSOptions`; defaults match MATPOWER.
+        :class:`MIPSOptions`; defaults match MATPOWER.  ``kkt_solver``
+        selects the linear-solver backend for the Newton systems.
     """
     opt = options or MIPSOptions()
     opt.validate()
@@ -163,6 +278,14 @@ def mips(
     bounds = _BoundHandler(nx, xmin, xmax, opt.bound_eq_tol)
     if gh_fcn is not None and hess_fcn is None:
         raise ValueError("hess_fcn is required when nonlinear constraints are present")
+
+    kkt_solver = make_kkt_solver(
+        opt.kkt_solver,
+        regularization=opt.kkt_reg,
+        max_retries=opt.kkt_max_retries,
+    )
+    assembler = _KKTAssembler()
+    phase = {"eval": 0.0, "assembly": 0.0, "factorization": 0.0, "backsolve": 0.0}
 
     def eval_objective(x: np.ndarray) -> Tuple[float, np.ndarray, Optional[sp.spmatrix]]:
         out = f_fcn(x)
@@ -185,11 +308,14 @@ def mips(
     start_time = time.perf_counter()
     x = bounds.interior_start(x0)
 
+    t_eval = time.perf_counter()
     (g, h, Jg, Jh), (n_eq_nl, n_ineq_nl) = eval_constraints(x)
     partition = bounds.partition(n_eq_nl, n_ineq_nl)
     neq, niq = g.size, h.size
 
     f, df, d2f_cached = eval_objective(x)
+    entry_eval_seconds = time.perf_counter() - t_eval
+    phase["eval"] += entry_eval_seconds
 
     # ---------------------------------------------------------------- warm start
     gamma = opt.z0
@@ -220,8 +346,6 @@ def mips(
     if niq > 0 and (mu0 is not None or z0 is not None):
         gamma = max(opt.sigma * float(z @ mu) / niq, 1e-12)
 
-    e = np.ones(niq)
-
     def lagrangian_gradient(df_, Jg_, Jh_, lam_, mu_) -> np.ndarray:
         Lx = df_.copy()
         if neq:
@@ -230,32 +354,13 @@ def mips(
             Lx = Lx + Jh_.T @ mu_
         return Lx
 
-    def conditions(f_, f0_, g_, h_, Lx_, x_, z_, lam_, mu_) -> Tuple[float, float, float, float]:
-        maxh = float(np.max(h_)) if h_.size else -np.inf
-        norm_g = float(np.max(np.abs(g_))) if g_.size else 0.0
-        norm_x = float(np.max(np.abs(x_))) if x_.size else 0.0
-        norm_z = float(np.max(np.abs(z_))) if z_.size else 0.0
-        norm_lam = float(np.max(np.abs(lam_))) if lam_.size else 0.0
-        norm_mu = float(np.max(np.abs(mu_))) if mu_.size else 0.0
-        feascond = max(norm_g, maxh) / (1.0 + max(norm_x, norm_z))
-        gradcond = (float(np.max(np.abs(Lx_))) if Lx_.size else 0.0) / (
-            1.0 + max(norm_lam, norm_mu)
-        )
-        compcond = (float(z_ @ mu_) if z_.size else 0.0) / (1.0 + norm_x)
-        costcond = abs(f_ - f0_) / (1.0 + abs(f0_))
-        return feascond, gradcond, compcond, costcond
-
     Lx = lagrangian_gradient(df, Jg, Jh, lam, mu)
     f0 = f
-    feascond, gradcond, compcond, costcond = conditions(f, f0, g, h, Lx, x, z, lam, mu)
+    conds = _conditions(f, f0, g, h, Lx, x, z, lam, mu)
+    feascond, gradcond, compcond, costcond = conds
 
     history = []
-    converged = bool(
-        feascond < opt.feastol
-        and gradcond < opt.gradtol
-        and compcond < opt.comptol
-        and costcond < opt.costtol
-    )
+    converged = _is_converged(conds, opt)
     message = "converged" if converged else ""
     iterations = 0
 
@@ -272,6 +377,7 @@ def mips(
                 gamma=gamma,
                 alpha_primal=0.0,
                 alpha_dual=0.0,
+                eval_seconds=entry_eval_seconds,
             )
         )
 
@@ -281,6 +387,7 @@ def mips(
         # ------------------------------------------------------ Newton system
         lam_nl = lam[:n_eq_nl]
         mu_nl = mu[:n_ineq_nl]
+        t_eval = time.perf_counter()
         if hess_fcn is not None:
             Lxx = sp.csr_matrix(hess_fcn(x, lam_nl, mu_nl, opt.cost_mult))
         elif d2f_cached is not None:
@@ -289,28 +396,24 @@ def mips(
             raise ValueError(
                 "no Hessian available: provide hess_fcn or a 3-tuple objective"
             )
+        eval_seconds = time.perf_counter() - t_eval
+        phase["eval"] += eval_seconds
 
-        if niq:
-            zinv = 1.0 / z
-            dh_zinv = Jh.T @ sp.diags(zinv)  # columns scaled by 1/z  -> (nx, niq)
-            M = Lxx + dh_zinv @ sp.diags(mu) @ Jh
-            N = Lx + dh_zinv @ (mu * h + gamma * e)
-        else:
-            M = Lxx
-            N = Lx.copy()
-
-        if neq:
-            kkt = sp.bmat([[M, Jg.T], [Jg, None]], format="csc")
-            rhs = np.concatenate([-N, -g])
-        else:
-            kkt = sp.csc_matrix(M)
-            rhs = -N
+        t_asm = time.perf_counter()
+        kkt, rhs = assembler.build(Lxx, Jg, Jh, Lx, g, h, z, mu, gamma)
+        assembly_seconds = time.perf_counter() - t_asm
+        phase["assembly"] += assembly_seconds
 
         try:
-            sol = spla.spsolve(kkt, rhs)
-        except Exception:  # singular factorisation
+            sol = kkt_solver.solve(kkt, rhs)
+        except KKTSolveError:
+            phase["factorization"] += kkt_solver.factor_seconds
             message = "numerically failed (singular KKT system)"
             break
+        factor_seconds = kkt_solver.factor_seconds
+        backsolve_seconds = kkt_solver.backsolve_seconds
+        phase["factorization"] += factor_seconds
+        phase["backsolve"] += backsolve_seconds
         if not np.all(np.isfinite(sol)):
             message = "numerically failed (non-finite Newton step)"
             break
@@ -350,12 +453,15 @@ def mips(
 
         # ----------------------------------------------------- re-evaluate
         f0 = f
+        t_eval = time.perf_counter()
         f, df, d2f_cached = eval_objective(x)
         (g, h, Jg, Jh), _ = eval_constraints(x)
+        post_eval_seconds = time.perf_counter() - t_eval
+        eval_seconds += post_eval_seconds
+        phase["eval"] += post_eval_seconds
         Lx = lagrangian_gradient(df, Jg, Jh, lam, mu)
-        feascond, gradcond, compcond, costcond = conditions(
-            f, f0, g, h, Lx, x, z, lam, mu
-        )
+        conds = _conditions(f, f0, g, h, Lx, x, z, lam, mu)
+        feascond, gradcond, compcond, costcond = conds
 
         if opt.record_history:
             history.append(
@@ -370,6 +476,10 @@ def mips(
                     gamma=gamma,
                     alpha_primal=alphap,
                     alpha_dual=alphad,
+                    eval_seconds=eval_seconds,
+                    assembly_seconds=assembly_seconds,
+                    factor_seconds=factor_seconds,
+                    backsolve_seconds=backsolve_seconds,
                 )
             )
         if opt.verbose:
@@ -383,12 +493,7 @@ def mips(
                 costcond,
             )
 
-        if (
-            feascond < opt.feastol
-            and gradcond < opt.gradtol
-            and compcond < opt.comptol
-            and costcond < opt.costtol
-        ):
+        if _is_converged(conds, opt):
             converged = True
             message = "converged"
             break
@@ -401,6 +506,13 @@ def mips(
 
     if not converged and not message:
         message = "iteration limit reached"
+
+    if kkt_solver.regularizations:
+        LOGGER.warning(
+            "KKT system was singular %d time(s); recovered with diagonal "
+            "regularisation (ill-conditioned problem or multiplier start)",
+            kkt_solver.regularizations,
+        )
 
     elapsed = time.perf_counter() - start_time
     return MIPSResult(
@@ -415,4 +527,6 @@ def mips(
         message=message,
         history=history,
         elapsed_seconds=elapsed,
+        phase_seconds=dict(phase),
+        kkt_regularizations=kkt_solver.regularizations,
     )

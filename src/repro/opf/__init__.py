@@ -2,12 +2,13 @@
 
 from repro.opf.costs import (
     objective,
+    objective_hessian_diag,
     polynomial_cost,
     polynomial_cost_derivatives,
     total_cost,
 )
 from repro.opf.constraints import branch_flow_limits, constraint_function, power_balance
-from repro.opf.hessian import hessian_function, lagrangian_hessian
+from repro.opf.hessian import hessian_blocks, hessian_function, lagrangian_hessian
 from repro.opf.model import OPFModel, VariableIndex
 from repro.opf.result import OPFResult, build_opf_result
 from repro.opf.solver import OPFOptions, build_model, solve_opf, solve_opf_with_fallback
@@ -24,12 +25,14 @@ __all__ = [
     "solve_opf",
     "solve_opf_with_fallback",
     "objective",
+    "objective_hessian_diag",
     "polynomial_cost",
     "polynomial_cost_derivatives",
     "total_cost",
     "power_balance",
     "branch_flow_limits",
     "constraint_function",
+    "hessian_blocks",
     "hessian_function",
     "lagrangian_hessian",
 ]

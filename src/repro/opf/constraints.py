@@ -15,7 +15,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.opf.model import OPFModel
-from repro.powerflow.derivatives import dAbr_dV, dSbr_dV, dSbus_dV
+from repro.powerflow.derivatives import dAbr_dV, dSbus_dV
 from repro.powerflow.injections import bus_injection
 
 
@@ -33,30 +33,28 @@ def power_balance(
     """
     case = model.case
     base = case.base_mva
-    nb, ng = case.n_bus, case.n_gen
     Pd = (case.bus.Pd if Pd_mw is None else np.asarray(Pd_mw, dtype=float)) / base
     Qd = (case.bus.Qd if Qd_mw is None else np.asarray(Qd_mw, dtype=float)) / base
 
     V = model.complex_voltage(x)
     Pg = x[model.idx.pg]
     Qg = x[model.idx.qg]
-    on = (case.gen.status > 0).astype(float)
 
     Sbus = bus_injection(model.adm.Ybus, V)
-    Sgen = model.adm.Cg @ ((Pg + 1j * Qg) * on)
+    Sgen = model.adm.Cg @ ((Pg + 1j * Qg) * model.gen_on)
     mis = Sbus + (Pd + 1j * Qd) - Sgen
     g = np.concatenate([mis.real, mis.imag])
 
     dSa, dSm = dSbus_dV(model.adm.Ybus, V)
-    Cg_on = model.adm.Cg @ sp.diags(on)
-    zero_bg = sp.csr_matrix((nb, ng))
-    # Rows: [P-balance; Q-balance], columns: [Va, Vm, Pg, Qg].
-    Jg = sp.bmat(
+    neg_Cg, zero_bg = model.neg_Cg_on, model.zero_bg
+    # Rows: [P-balance; Q-balance], columns: [Va, Vm, Pg, Qg].  The block
+    # layout is structure-cached on the model: after the first call only the
+    # voltage-derivative values are scattered into the cached pattern.
+    Jg = model._pb_jac_cache.assemble(
         [
-            [sp.csr_matrix(dSa.real), sp.csr_matrix(dSm.real), -Cg_on, zero_bg],
-            [sp.csr_matrix(dSa.imag), sp.csr_matrix(dSm.imag), zero_bg, -Cg_on],
-        ],
-        format="csr",
+            [dSa.real, dSm.real, neg_Cg, zero_bg],
+            [dSa.imag, dSm.imag, zero_bg, neg_Cg],
+        ]
     )
     return g, Jg
 
@@ -74,15 +72,7 @@ def branch_flow_limits(model: OPFModel, x: np.ndarray) -> Tuple[np.ndarray, sp.c
     if lim.size == 0:
         return np.zeros(0), sp.csr_matrix((0, nx))
 
-    case = model.case
-    V = model.complex_voltage(x)
-    Yf = model.adm.Yf[lim]
-    Yt = model.adm.Yt[lim]
-    Cf = model.adm.Cf[lim]
-    Ct = model.adm.Ct[lim]
-
-    dSf_dVa, dSf_dVm, Sf = dSbr_dV(Yf, Cf, V)
-    dSt_dVa, dSt_dVm, St = dSbr_dV(Yt, Ct, V)
+    (dSf_dVa, dSf_dVm, Sf), (dSt_dVa, dSt_dVm, St) = model.branch_flow_derivatives(x)
 
     h = np.concatenate(
         [np.abs(Sf) ** 2 - model.flow_limit_sq, np.abs(St) ** 2 - model.flow_limit_sq]
@@ -91,11 +81,9 @@ def branch_flow_limits(model: OPFModel, x: np.ndarray) -> Tuple[np.ndarray, sp.c
     dAf_dVa, dAf_dVm = dAbr_dV(dSf_dVa, dSf_dVm, Sf)
     dAt_dVa, dAt_dVm = dAbr_dV(dSt_dVa, dSt_dVm, St)
 
-    ng = case.n_gen
-    nl = lim.size
-    zero_lg = sp.csr_matrix((nl, 2 * ng))
-    Jh = sp.bmat(
-        [[dAf_dVa, dAf_dVm, zero_lg], [dAt_dVa, dAt_dVm, zero_lg]], format="csr"
+    zero_lg = model.zero_lg
+    Jh = model._flow_jac_cache.assemble(
+        [[dAf_dVa, dAf_dVm, zero_lg], [dAt_dVa, dAt_dVm, zero_lg]]
     )
     return h, Jh
 

@@ -7,7 +7,7 @@ factors of the MVA base for the gradient and Hessian.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -52,6 +52,24 @@ def total_cost(case: Case, Pg_mw: np.ndarray) -> float:
     return float(polynomial_cost(case, Pg_mw)[on].sum())
 
 
+def objective_hessian_diag(
+    model: OPFModel, x: np.ndarray, d2_mw: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Diagonal of the objective Hessian over the ``Pg`` block (p.u. space).
+
+    One per-generator value ``d²cost/dPg_pu²`` with out-of-service units
+    masked — the single source of truth for the cost curvature, shared by
+    :func:`objective` and the Lagrangian-Hessian assembly.  ``d2_mw`` lets a
+    caller that already evaluated :func:`polynomial_cost_derivatives` skip
+    recomputing them.
+    """
+    case = model.case
+    base = case.base_mva
+    if d2_mw is None:
+        _, d2_mw = polynomial_cost_derivatives(case, x[model.idx.pg] * base)
+    return d2_mw * model.gen_on * base * base
+
+
 def objective(model: OPFModel, x: np.ndarray) -> Tuple[float, np.ndarray, sp.csr_matrix]:
     """OPF objective ``f(x)``, gradient and (diagonal) Hessian in optimisation space.
 
@@ -60,17 +78,18 @@ def objective(model: OPFModel, x: np.ndarray) -> Tuple[float, np.ndarray, sp.csr
     case = model.case
     base = case.base_mva
     Pg_mw = x[model.idx.pg] * base
-    on = (case.gen.status > 0).astype(float)
+    on = model.gen_on
 
     cost = polynomial_cost(case, Pg_mw) * on
     d1, d2 = polynomial_cost_derivatives(case, Pg_mw)
-    d1, d2 = d1 * on, d2 * on
 
     f = float(cost.sum())
     df = np.zeros(model.idx.nx)
-    df[model.idx.pg] = d1 * base  # d cost / d Pg_pu
+    df[model.idx.pg] = d1 * on * base  # d cost / d Pg_pu
 
     nx = model.idx.nx
     pg_idx = np.arange(model.idx.pg.start, model.idx.pg.stop)
-    d2f = sp.csr_matrix((d2 * base * base, (pg_idx, pg_idx)), shape=(nx, nx))
+    d2f = sp.csr_matrix(
+        (objective_hessian_diag(model, x, d2_mw=d2), (pg_idx, pg_idx)), shape=(nx, nx)
+    )
     return f, df, d2f

@@ -15,30 +15,37 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.opf.costs import objective
+from repro.opf.costs import objective_hessian_diag
 from repro.opf.model import OPFModel
-from repro.powerflow.derivatives import dSbr_dV
 from repro.powerflow.hessians import d2ASbr_dV2, d2Sbus_dV2
 
 
-def lagrangian_hessian(
+def hessian_blocks(
     model: OPFModel,
     x: np.ndarray,
     lam_nl: np.ndarray,
     mu_nl: np.ndarray,
     cost_mult: float = 1.0,
-) -> sp.csr_matrix:
-    """Hessian of the Lagrangian w.r.t. the optimisation vector.
+):
+    """Evaluate the Lagrangian-Hessian kernel blocks at ``x``.
 
-    ``lam_nl`` holds the multipliers of the 2·nb power-balance rows (real rows
-    first) and ``mu_nl`` those of the branch-flow rows (from-end rows first);
-    bound multipliers never appear because bound constraints are linear.
+    Returns ``(Haa, Hav, Hva, Hvv, Dgg)``: the four ``(nb, nb)`` voltage
+    blocks (power balance plus branch-flow curvature) and the diagonal
+    ``(2·ng, 2·ng)`` cost block.  :func:`lagrangian_hessian` assembles these
+    into the full matrix; the KKT micro-benchmark times that assembly in
+    isolation.
     """
     case = model.case
     nb, ng = case.n_bus, case.n_gen
     V = model.complex_voltage(x)
 
-    _, _, d2f = objective(model, x)
+    # ------------------------------------------------------------- cost part
+    # Diagonal Pg block of the objective Hessian in the (Pg, Qg) corner; the
+    # Qg half is structurally zero but kept explicit so the pattern is fixed.
+    diag_gg = np.zeros(2 * ng)
+    diag_gg[:ng] = objective_hessian_diag(model, x) * cost_mult
+    gg_idx = np.arange(2 * ng)
+    Dgg = sp.csr_matrix((diag_gg, (gg_idx, gg_idx)), shape=(2 * ng, 2 * ng))
 
     # ----------------------------------------------------- power balance part
     lamP = lam_nl[:nb]
@@ -56,11 +63,10 @@ def lagrangian_hessian(
         nl = lim.size
         muF = mu_nl[:nl]
         muT = mu_nl[nl : 2 * nl]
-        Yf, Yt = model.adm.Yf[lim], model.adm.Yt[lim]
-        Cf, Ct = model.adm.Cf[lim], model.adm.Ct[lim]
+        Yf, Yt = model.Yf_lim, model.Yt_lim
+        Cf, Ct = model.Cf_lim, model.Ct_lim
 
-        dSf_dVa, dSf_dVm, Sf = dSbr_dV(Yf, Cf, V)
-        dSt_dVa, dSt_dVm, St = dSbr_dV(Yt, Ct, V)
+        (dSf_dVa, dSf_dVm, Sf), (dSt_dVa, dSt_dVm, St) = model.branch_flow_derivatives(x, V)
 
         Hfaa, Hfav, Hfva, Hfvv = d2ASbr_dV2(dSf_dVa, dSf_dVm, Sf, Cf, Yf, V, muF)
         Htaa, Htav, Htva, Htvv = d2ASbr_dV2(dSt_dVa, dSt_dVm, St, Ct, Yt, V, muT)
@@ -70,15 +76,34 @@ def lagrangian_hessian(
         Hva = Hva + Hfva + Htva
         Hvv = Hvv + Hfvv + Htvv
 
-    voltage_block = sp.bmat([[Haa, Hav], [Hva, Hvv]], format="csr")
-    H_constraints = sp.bmat(
+    return Haa, Hav, Hva, Hvv, Dgg
+
+
+def lagrangian_hessian(
+    model: OPFModel,
+    x: np.ndarray,
+    lam_nl: np.ndarray,
+    mu_nl: np.ndarray,
+    cost_mult: float = 1.0,
+) -> sp.csr_matrix:
+    """Hessian of the Lagrangian w.r.t. the optimisation vector.
+
+    ``lam_nl`` holds the multipliers of the 2·nb power-balance rows (real rows
+    first) and ``mu_nl`` those of the branch-flow rows (from-end rows first);
+    bound multipliers never appear because bound constraints are linear.
+
+    The full Hessian is assembled through the model's structure cache: the
+    ``(Va, Vm)`` kernel blocks and the diagonal ``Pg`` cost block are scattered
+    into a block pattern computed once per case.
+    """
+    Haa, Hav, Hva, Hvv, Dgg = hessian_blocks(model, x, lam_nl, mu_nl, cost_mult)
+    return model._hess_cache.assemble(
         [
-            [voltage_block, None],
-            [None, sp.csr_matrix((2 * ng, 2 * ng))],
-        ],
-        format="csr",
+            [Haa, Hav, None],
+            [Hva, Hvv, None],
+            [None, None, Dgg],
+        ]
     )
-    return sp.csr_matrix(d2f * cost_mult + H_constraints)
 
 
 def hessian_function(model: OPFModel):

@@ -16,9 +16,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.grid.components import Case, REF
+from repro.powerflow.derivatives import dSbr_dV
 from repro.powerflow.ybus import AdmittanceMatrices, make_ybus
+from repro.utils.sparse import CachedBmat
 
 
 @dataclass(frozen=True)
@@ -73,6 +76,17 @@ class OPFModel:
     The model is load-agnostic: loads enter only through the power-balance
     constraint evaluation, so one model can be reused across all sampled
     scenarios of a case (this is what makes dataset generation cheap).
+
+    Beyond the admittance matrices the model holds everything about the case
+    that is *constant across evaluations*: the generator-connection blocks of
+    the power-balance Jacobian, the admittance rows of the rated branches and
+    — crucially for the warm-started scenario sweeps — the sparsity-structure
+    caches of the constraint Jacobians and the Lagrangian Hessian.  The
+    patterns are computed on the first evaluation and only the numeric values
+    are refreshed afterwards, so per-iteration assembly is a handful of array
+    gathers.  The caches make evaluations stateful: a model must not be
+    shared across threads evaluating concurrently (process pools are fine —
+    each worker builds its own model).
     """
 
     def __init__(self, case: Case, flow_limits: str = "S"):
@@ -94,6 +108,31 @@ class OPFModel:
         self._ref = case.ref_bus_indices()
         if self._ref.size != 1:
             raise ValueError("OPF requires exactly one reference bus")
+
+        nb, ng = case.n_bus, case.n_gen
+        lim = self.limited_branches
+        #: In-service mask of the generators (float, constant per case).
+        self.gen_on = (case.gen.status > 0).astype(float)
+        #: Negated generator-connection block of the power-balance Jacobian.
+        self.neg_Cg_on = (-(self.adm.Cg @ sp.diags(self.gen_on))).tocsr()
+        #: Constant zero blocks of the Jacobians.
+        self.zero_bg = sp.csr_matrix((nb, ng))
+        self.zero_lg = sp.csr_matrix((lim.size, 2 * ng))
+        #: Admittance / connection rows of the rated branches (constant slices).
+        self.Yf_lim = self.adm.Yf[lim]
+        self.Yt_lim = self.adm.Yt[lim]
+        self.Cf_lim = self.adm.Cf[lim]
+        self.Ct_lim = self.adm.Ct[lim]
+
+        # Sparsity-structure caches (pattern computed once, values refreshed).
+        self._pb_jac_cache = CachedBmat("csr")
+        self._flow_jac_cache = CachedBmat("csr")
+        self._hess_cache = CachedBmat("csr")
+        # One-entry memo for the branch-flow first derivatives: within a MIPS
+        # iteration the Hessian is evaluated at the same point as the previous
+        # constraint evaluation, so the kernels are shared between the two.
+        self._branch_deriv_key: Optional[bytes] = None
+        self._branch_deriv_val = None
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -178,3 +217,26 @@ class OPFModel:
     def complex_voltage(self, x: np.ndarray) -> np.ndarray:
         """Complex bus voltages encoded in ``x``."""
         return x[self.idx.vm] * np.exp(1j * x[self.idx.va])
+
+    # ------------------------------------------------------- shared derivatives
+    def branch_flow_derivatives(self, x: np.ndarray, V: Optional[np.ndarray] = None):
+        """First derivatives of the rated-branch flows at ``x`` (memoised).
+
+        Returns ``((dSf_dVa, dSf_dVm, Sf), (dSt_dVa, dSt_dVm, St))`` for the
+        from/to ends of the rated branches.  The constraint evaluation and the
+        Lagrangian Hessian need these at the same point within one MIPS
+        iteration, so the most recent evaluation is memoised (keyed on the
+        bytes of ``x``).
+        """
+        key = x.tobytes()
+        if self._branch_deriv_key == key:
+            return self._branch_deriv_val
+        if V is None:
+            V = self.complex_voltage(x)
+        value = (
+            dSbr_dV(self.Yf_lim, self.Cf_lim, V),
+            dSbr_dV(self.Yt_lim, self.Ct_lim, V),
+        )
+        self._branch_deriv_key = key
+        self._branch_deriv_val = value
+        return value

@@ -38,6 +38,8 @@ class OPFResult:
     history: List[IterationRecord] = field(default_factory=list)
     preprocess_seconds: float = 0.0
     solve_seconds: float = 0.0
+    #: Per-phase solver time (eval / assembly / factorization / backsolve).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
     Pd_mw: Optional[np.ndarray] = None
     Qd_mvar: Optional[np.ndarray] = None
 
@@ -89,6 +91,7 @@ def build_opf_result(
         history=list(mips_result.history),
         preprocess_seconds=preprocess_seconds,
         solve_seconds=mips_result.elapsed_seconds,
+        phase_seconds=dict(mips_result.phase_seconds),
         Pd_mw=None if Pd_mw is None else np.asarray(Pd_mw, dtype=float).copy(),
         Qd_mvar=None if Qd_mvar is None else np.asarray(Qd_mvar, dtype=float).copy(),
     )

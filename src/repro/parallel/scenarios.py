@@ -87,22 +87,20 @@ def generate_scenarios(
     rng = ensure_rng(seed)
     loads = sample_loads(case, n_scenarios, variation=variation, seed=rng)
 
-    # Candidate branches for outages: those whose endpoints have degree >= 2.
+    # Candidate branches for outages: in-service branches whose endpoints keep
+    # degree >= 2 counting *live* branches only (an out-of-service branch must
+    # not make a bus look better connected than it is).
     f, t = case.branch_bus_indices()
-    degree = np.zeros(case.n_bus, dtype=int)
-    for a, b in zip(f, t):
-        degree[a] += 1
-        degree[b] += 1
-    candidates = [
-        l
-        for l in range(case.n_branch)
-        if case.branch.status[l] > 0 and degree[f[l]] > 1 and degree[t[l]] > 1
-    ]
+    live = case.branch.status > 0
+    degree = np.bincount(f[live], minlength=case.n_bus) + np.bincount(
+        t[live], minlength=case.n_bus
+    )
+    candidates = np.flatnonzero(live & (degree[f] > 1) & (degree[t] > 1))
 
     scenarios = []
     for i, sample in enumerate(loads):
         outage = None
-        if candidates and rng.random() < contingency_fraction:
+        if candidates.size and rng.random() < contingency_fraction:
             outage = int(rng.choice(candidates))
         scenarios.append(
             Scenario(scenario_id=i, Pd=sample.Pd, Qd=sample.Qd, outage_branch=outage)

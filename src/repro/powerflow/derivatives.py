@@ -4,12 +4,19 @@ These follow the standard polar-coordinate formulas used by MATPOWER
 (``dSbus_dV``, ``dSbr_dV``, ``dAbr_dV``).  Every function returns SciPy sparse
 matrices; the test suite verifies all of them against central finite
 differences of the underlying injection/flow functions.
+
+The formulas multiply by diagonal matrices only, so instead of sparse matrix
+products the implementations scale the CSR ``data`` arrays directly
+(:func:`~repro.utils.sparse.row_scaled_csr` / ``col_scaled_csr``) — these
+kernels sit on the per-iteration hot path of the MIPS solver.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.utils.sparse import col_scaled_csr, row_scaled_csr
 
 
 def _diag(values: np.ndarray) -> sp.csr_matrix:
@@ -22,13 +29,16 @@ def dSbus_dV(Ybus: sp.spmatrix, V: np.ndarray) -> tuple[sp.csr_matrix, sp.csr_ma
 
     Returns ``(dSbus_dVa, dSbus_dVm)``, each ``(nb, nb)`` complex.
     """
+    Ybus = sp.csr_matrix(Ybus)
     Ibus = Ybus @ V
-    diagV = _diag(V)
-    diagIbus = _diag(Ibus)
-    diagVnorm = _diag(V / np.abs(V))
+    Vnorm = V / np.abs(V)
 
-    dS_dVm = diagV @ np.conj(Ybus @ diagVnorm) + np.conj(diagIbus) @ diagVnorm
-    dS_dVa = 1j * diagV @ np.conj(diagIbus - Ybus @ diagV)
+    # dS_dVa = j diag(V) conj(diag(Ibus) - Ybus diag(V))
+    dS_dVa = row_scaled_csr((_diag(Ibus) - col_scaled_csr(Ybus, V)).conjugate(), 1j * V)
+    # dS_dVm = diag(V) conj(Ybus diag(Vnorm)) + conj(diag(Ibus)) diag(Vnorm)
+    dS_dVm = row_scaled_csr(col_scaled_csr(Ybus, Vnorm).conjugate(), V) + _diag(
+        np.conj(Ibus) * Vnorm
+    )
     return dS_dVa.tocsr(), dS_dVm.tocsr()
 
 
@@ -41,16 +51,22 @@ def dSbr_dV(
     the from or the to end.  Returns ``(dSbr_dVa, dSbr_dVm, Sbr)`` with the
     flow vector included since callers always need it alongside.
     """
+    Ybr = sp.csr_matrix(Ybr)
+    Cbr = sp.csr_matrix(Cbr)
     Ibr = Ybr @ V
     Vbr = Cbr @ V
-    diagV = _diag(V)
-    diagVnorm = _diag(V / np.abs(V))
-    diagIbr = _diag(Ibr)
-    diagVbr = _diag(Vbr)
+    Vnorm = V / np.abs(V)
+    conj_Ibr = np.conj(Ibr)
 
-    dS_dVa = 1j * (np.conj(diagIbr) @ Cbr @ diagV - diagVbr @ np.conj(Ybr @ diagV))
-    dS_dVm = diagVbr @ np.conj(Ybr @ diagVnorm) + np.conj(diagIbr) @ Cbr @ diagVnorm
-    Sbr = Vbr * np.conj(Ibr)
+    # dS_dVa = j (conj(diag(Ibr)) Cbr diag(V) - diag(Vbr) conj(Ybr diag(V)))
+    dS_dVa = row_scaled_csr(col_scaled_csr(Cbr, 1j * V), conj_Ibr) - row_scaled_csr(
+        col_scaled_csr(Ybr, V).conjugate(), 1j * Vbr
+    )
+    # dS_dVm = diag(Vbr) conj(Ybr diag(Vnorm)) + conj(diag(Ibr)) Cbr diag(Vnorm)
+    dS_dVm = row_scaled_csr(col_scaled_csr(Ybr, Vnorm).conjugate(), Vbr) + row_scaled_csr(
+        col_scaled_csr(Cbr, Vnorm), conj_Ibr
+    )
+    Sbr = Vbr * conj_Ibr
     return dS_dVa.tocsr(), dS_dVm.tocsr(), Sbr
 
 
@@ -63,10 +79,12 @@ def dAbr_dV(
 
     Returns ``(dAbr_dVa, dAbr_dVm)``, each real ``(nl, nb)``.
     """
-    dP = _diag(Sbr.real)
-    dQ = _diag(Sbr.imag)
-    dA_dVa = 2.0 * (dP @ sp.csr_matrix(dSbr_dVa.real) + dQ @ sp.csr_matrix(dSbr_dVa.imag))
-    dA_dVm = 2.0 * (dP @ sp.csr_matrix(dSbr_dVm.real) + dQ @ sp.csr_matrix(dSbr_dVm.imag))
+    dVa = sp.csr_matrix(dSbr_dVa)
+    dVm = sp.csr_matrix(dSbr_dVm)
+    twoP = 2.0 * Sbr.real
+    twoQ = 2.0 * Sbr.imag
+    dA_dVa = row_scaled_csr(dVa.real, twoP) + row_scaled_csr(dVa.imag, twoQ)
+    dA_dVm = row_scaled_csr(dVm.real, twoP) + row_scaled_csr(dVm.imag, twoQ)
     return dA_dVa.tocsr(), dA_dVm.tocsr()
 
 

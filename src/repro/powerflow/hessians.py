@@ -32,6 +32,8 @@ from typing import Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.utils.sparse import col_scaled_csr, row_scaled_csr
+
 
 def _diag(values: np.ndarray) -> sp.csr_matrix:
     n = values.shape[0]
@@ -44,22 +46,24 @@ HessianBlocks = Tuple[sp.csr_matrix, sp.csr_matrix, sp.csr_matrix, sp.csr_matrix
 def _polar_hessian_blocks(W: sp.spmatrix, V: np.ndarray) -> HessianBlocks:
     """Hessian blocks of ``Σ_{ik} W_ik V_i conj(V_k)`` w.r.t. ``(Va, Vm)``.
 
-    Returns ``(Gaa, Gav, Gva, Gvv)``.
+    Returns ``(Gaa, Gav, Gva, Gvv)``.  All diagonal multiplications are
+    applied as direct CSR data scalings — this runs once per multiplier block
+    per MIPS iteration.
     """
     Vm = np.abs(V)
-    T = _diag(V) @ sp.csr_matrix(W) @ _diag(np.conj(V))
-    T = T.tocsr()
+    Vminv = 1.0 / Vm
+    T = row_scaled_csr(col_scaled_csr(sp.csr_matrix(W), np.conj(V)), V).tocsr()
     R = np.asarray(T.sum(axis=1)).ravel()  # row sums
     Csum = np.asarray(T.sum(axis=0)).ravel()  # column sums
-    Dv = _diag(1.0 / Vm)
 
-    sym = (T + T.T).tocsr()
-    skew = (T - T.T).tocsr()
+    Tt = T.T.tocsr()
+    sym = T + Tt
+    skew = T - Tt
 
     Gaa = sym - _diag(R + Csum)
-    Gav = 1j * (_diag((R - Csum) / Vm) + skew @ Dv)
+    Gav = _diag(1j * (R - Csum) * Vminv) + col_scaled_csr(skew, 1j * Vminv)
     Gva = Gav.T
-    Gvv = Dv @ sym @ Dv
+    Gvv = row_scaled_csr(col_scaled_csr(sym, Vminv), Vminv)
     return (
         sp.csr_matrix(Gaa),
         sp.csr_matrix(Gav),
@@ -74,7 +78,9 @@ def d2Sbus_dV2(Ybus: sp.spmatrix, V: np.ndarray, lam: np.ndarray) -> HessianBloc
     ``lam`` may be complex; the OPF layer uses the real part of the result for
     P-balance multipliers and the imaginary part for Q-balance multipliers.
     """
-    W = _diag(np.asarray(lam, dtype=complex)) @ np.conj(sp.csr_matrix(Ybus))
+    W = row_scaled_csr(
+        sp.csr_matrix(Ybus).conjugate(), np.asarray(lam, dtype=complex)
+    )
     return _polar_hessian_blocks(W, V)
 
 
@@ -86,8 +92,8 @@ def d2Sbr_dV2(
     ``Cbr``/``Ybr`` are the branch incidence / admittance matrices of one
     branch end; ``lam`` has one (possibly complex) entry per branch.
     """
-    W = sp.csr_matrix(Cbr).T @ _diag(np.asarray(lam, dtype=complex)) @ np.conj(
-        sp.csr_matrix(Ybr)
+    W = sp.csr_matrix(Cbr).T @ row_scaled_csr(
+        sp.csr_matrix(Ybr).conjugate(), np.asarray(lam, dtype=complex)
     )
     return _polar_hessian_blocks(W, V)
 
@@ -108,18 +114,20 @@ def d2ASbr_dV2(
     complex weight ``lam ⊙ conj(Sbr)``.
     """
     lam = np.asarray(lam, dtype=float)
-    M = _diag(lam.astype(complex))
+    lam_c = lam.astype(complex)
     Saa, Sav, Sva, Svv = d2Sbr_dV2(Cbr, Ybr, V, lam * np.conj(Sbr))
 
     dVa = sp.csr_matrix(dSbr_dVa)
     dVm = sp.csr_matrix(dSbr_dVm)
-    dVaH = np.conj(dVa).T
-    dVmH = np.conj(dVm).T
+    dVaH = np.conj(dVa).T.tocsr()
+    dVmH = np.conj(dVm).T.tocsr()
+    MdVa = row_scaled_csr(dVa, lam_c)
+    MdVm = row_scaled_csr(dVm, lam_c)
 
-    Haa = 2.0 * (sp.csr_matrix(Saa) + dVaH @ M @ dVa).real
-    Hav = 2.0 * (sp.csr_matrix(Sav) + dVaH @ M @ dVm).real
-    Hva = 2.0 * (sp.csr_matrix(Sva) + dVmH @ M @ dVa).real
-    Hvv = 2.0 * (sp.csr_matrix(Svv) + dVmH @ M @ dVm).real
+    Haa = 2.0 * (sp.csr_matrix(Saa) + dVaH @ MdVa).real
+    Hav = 2.0 * (sp.csr_matrix(Sav) + dVaH @ MdVm).real
+    Hva = 2.0 * (sp.csr_matrix(Sva) + dVmH @ MdVa).real
+    Hvv = 2.0 * (sp.csr_matrix(Svv) + dVmH @ MdVm).real
     return (
         sp.csr_matrix(Haa),
         sp.csr_matrix(Hav),

@@ -1,0 +1,307 @@
+"""Structure-cached sparse block assembly.
+
+Interior-point iterations assemble the same block matrices (constraint
+Jacobians, Lagrangian Hessians, the KKT system itself) over and over with an
+*unchanged sparsity pattern* — only the numeric values move.  ``scipy``'s
+``bmat``/``vstack`` redo the full symbolic work (COO concatenation, duplicate
+summing, index sorting) on every call, which dominates assembly time for the
+OPF-sized systems this library targets.
+
+:class:`CachedBmat` performs that symbolic work once: the first call records,
+for every stored nonzero of the assembled matrix, which block-data slot it
+came from.  Subsequent calls with pattern-identical blocks reduce to one
+``concatenate`` and one fancy-index gather over the numeric ``data`` arrays.
+A pattern change (detected by comparing the blocks' index arrays) transparently
+falls back to a fresh symbolic assembly, so callers never need to know whether
+the cache hit.
+
+Caches are **not thread-safe**.  Returned matrices own their ``data`` array
+(safe to hold across calls) but share the cached index arrays — treat them as
+read-only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "CachedBmat",
+    "CachedTranspose",
+    "cached_vstack_csr",
+    "col_scaled_csr",
+    "row_scaled_csr",
+    "same_pattern",
+]
+
+
+def _construct_unchecked(cls, data, indices, indptr, shape):
+    """Build a compressed sparse matrix without scipy's format validation.
+
+    The public constructors re-validate index dtypes and shapes on every call
+    (~10µs each), which dominates when thousands of small matrices are created
+    per solve.  Callers guarantee canonical, in-range inputs (they reuse the
+    index arrays of an existing canonical matrix), so validation is redundant.
+    """
+    m = cls.__new__(cls)
+    m.data = data
+    m.indices = indices
+    m.indptr = indptr
+    m._shape = shape
+    return m
+
+
+def _probe_unchecked_construction() -> bool:
+    try:
+        probe = _construct_unchecked(
+            sp.csr_matrix,
+            np.array([2.0, 3.0]),
+            np.array([0, 1], dtype=np.int32),
+            np.array([0, 1, 2], dtype=np.int32),
+            (2, 2),
+        )
+        ok = (
+            probe.shape == (2, 2)
+            and probe.nnz == 2
+            and np.allclose(probe.toarray(), [[2.0, 0.0], [0.0, 3.0]])
+            and np.allclose((probe @ probe).toarray(), [[4.0, 0.0], [0.0, 9.0]])
+            and np.allclose(probe.T.tocsr().toarray(), probe.toarray().T)
+        )
+        probe.has_canonical_format = True
+        probe.has_sorted_indices = True
+        return bool(ok)
+    except Exception:  # pragma: no cover - depends on scipy internals
+        return False
+
+
+#: Whether the scipy in use supports the unchecked constructor (verified once
+#: at import); when it does not, the public constructors are used instead.
+_UNCHECKED_OK = _probe_unchecked_construction()
+
+
+def _fast_compressed(cls, data, indices, indptr, shape):
+    """Canonical compressed matrix from trusted arrays, skipping validation."""
+    if _UNCHECKED_OK:
+        m = _construct_unchecked(cls, data, indices, indptr, shape)
+        m.has_canonical_format = True  # inputs come from a canonical matrix
+        return m
+    return cls((data, indices, indptr), shape=shape, copy=False)
+
+
+def same_pattern(
+    matrix, indptr: Optional[np.ndarray], indices: Optional[np.ndarray]
+) -> bool:
+    """Whether a compressed matrix has the cached sparsity pattern.
+
+    Checks array identity first — hot-loop callers hand back the very same
+    index arrays every iteration, making the common case O(1) — and falls
+    back to an element-wise comparison.
+    """
+    if indptr is None or indices is None:
+        return False
+    if matrix.indptr is not indptr and not np.array_equal(matrix.indptr, indptr):
+        return False
+    if matrix.indices is not indices and not np.array_equal(matrix.indices, indices):
+        return False
+    return True
+
+
+def _canonical_csr(block) -> sp.csr_matrix:
+    """Canonical (sorted, duplicate-free) CSR view of ``block``.
+
+    Dense inputs (ndarray / matrix-like) are coerced — callbacks handing the
+    solver dense Jacobians are part of the public MIPS API.
+    """
+    if not sp.issparse(block):
+        return sp.csr_matrix(np.atleast_2d(np.asarray(block)))
+    csr = block.tocsr()
+    if not csr.has_canonical_format:
+        csr = csr.copy()
+        csr.sum_duplicates()
+    elif not csr.has_sorted_indices:
+        csr = csr.copy()
+        csr.sort_indices()
+    return csr
+
+
+class CachedBmat:
+    """Assemble ``sp.bmat(blocks)`` with symbolic structure reuse.
+
+    Parameters
+    ----------
+    format:
+        Output sparse format (``"csr"`` or ``"csc"``).
+
+    Notes
+    -----
+    The fast path requires every block to present its nonzeros in the same
+    order as when the structure was cached; canonical CSR blocks (the output
+    of normal scipy arithmetic) guarantee this.  Blocks are canonicalised on
+    the way in, so any sparse input is accepted.
+    """
+
+    def __init__(self, format: str = "csr"):
+        if format not in ("csr", "csc"):
+            raise ValueError("format must be 'csr' or 'csc'")
+        self.format = format
+        self._pattern: Optional[List[List[Optional[tuple]]]] = None
+        self._order: Optional[np.ndarray] = None
+        self._template = None
+        #: Number of fast (structure-reusing) assemblies performed.
+        self.hits = 0
+        #: Number of full symbolic assemblies performed.
+        self.misses = 0
+
+    # ------------------------------------------------------------------ internals
+    def _matches(self, blocks: Sequence[Sequence[Optional[sp.csr_matrix]]]) -> bool:
+        pattern = self._pattern
+        if pattern is None or len(pattern) != len(blocks):
+            return False
+        for prow, brow in zip(pattern, blocks):
+            if len(prow) != len(brow):
+                return False
+            for pblk, blk in zip(prow, brow):
+                if (pblk is None) != (blk is None):
+                    return False
+                if blk is None:
+                    continue
+                shape, indptr, indices = pblk
+                if blk.shape != shape:
+                    return False
+                if not same_pattern(blk, indptr, indices):
+                    return False
+        return True
+
+    def _rebuild(self, blocks: Sequence[Sequence[Optional[sp.csr_matrix]]]) -> None:
+        coded_rows = []
+        pattern: List[List[Optional[tuple]]] = []
+        offset = 0
+        for brow in blocks:
+            coded_row = []
+            prow: List[Optional[tuple]] = []
+            for blk in brow:
+                if blk is None:
+                    coded_row.append(None)
+                    prow.append(None)
+                    continue
+                coded = blk.copy()
+                # 1-based slot ids survive the COO round-trip inside bmat
+                # (blocks are disjoint, so no duplicate summing occurs).
+                coded.data = np.arange(offset + 1, offset + blk.nnz + 1, dtype=float)
+                offset += blk.nnz
+                coded_row.append(coded)
+                prow.append((blk.shape, blk.indptr, blk.indices))
+            coded_rows.append(coded_row)
+            pattern.append(prow)
+
+        template = sp.bmat(coded_rows, format=self.format)
+        self._order = template.data.astype(np.intp) - 1
+        self._template = template
+        self._pattern = pattern
+        self.misses += 1
+
+    # -------------------------------------------------------------------- public
+    def assemble(self, blocks: Sequence[Sequence[Optional[sp.spmatrix]]]):
+        """Assemble the block matrix, reusing cached structure when possible."""
+        canon = [
+            [None if blk is None else _canonical_csr(blk) for blk in brow]
+            for brow in blocks
+        ]
+        if not self._matches(canon):
+            self._rebuild(canon)
+        else:
+            self.hits += 1
+        data_parts = [blk.data for brow in canon for blk in brow if blk is not None]
+        src = np.concatenate(data_parts) if data_parts else np.zeros(0)
+        template = self._template
+        matrix_cls = sp.csr_matrix if self.format == "csr" else sp.csc_matrix
+        # The gather allocates fresh data, so the returned matrix is safe to
+        # hold across calls; only the index arrays are shared with the cache.
+        return _fast_compressed(
+            matrix_cls, src[self._order], template.indices, template.indptr, template.shape
+        )
+
+
+class CachedTranspose:
+    """Transpose a CSR matrix with cached symbolic structure.
+
+    ``m.T.tocsr()`` re-sorts the whole matrix on every call; for a fixed
+    pattern the permutation from ``m.data`` to ``m.T.data`` is constant, so it
+    is recorded once and replayed as a single gather.  The returned matrix
+    shares the cached index arrays — treat it as read-only.
+    """
+
+    def __init__(self) -> None:
+        self._indptr: Optional[np.ndarray] = None
+        self._indices: Optional[np.ndarray] = None
+        self._shape: Optional[tuple] = None
+        self._order: Optional[np.ndarray] = None
+        self._t_indptr: Optional[np.ndarray] = None
+        self._t_indices: Optional[np.ndarray] = None
+
+    def _matches(self, m: sp.csr_matrix) -> bool:
+        if self._order is None or m.shape != self._shape:
+            return False
+        return same_pattern(m, self._indptr, self._indices)
+
+    def transpose(self, m: sp.spmatrix) -> sp.csr_matrix:
+        """Return ``m.T`` as canonical CSR, reusing cached structure."""
+        m = _canonical_csr(m)
+        if not self._matches(m):
+            coded = m.copy()
+            coded.data = np.arange(1, m.nnz + 1, dtype=float)
+            t = coded.T.tocsr()
+            t.sort_indices()
+            self._indptr = m.indptr
+            self._indices = m.indices
+            self._shape = m.shape
+            self._order = t.data.astype(np.intp) - 1
+            self._t_indptr = t.indptr
+            self._t_indices = t.indices
+        return _fast_compressed(
+            sp.csr_matrix,
+            m.data[self._order],
+            self._t_indices,
+            self._t_indptr,
+            (m.shape[1], m.shape[0]),
+        )
+
+
+def cached_vstack_csr(cache: CachedBmat, blocks: Sequence[sp.spmatrix]) -> sp.csr_matrix:
+    """Structure-cached ``sp.vstack(blocks, format="csr")``."""
+    return cache.assemble([[blk] for blk in blocks])
+
+
+def row_scaled_csr(matrix: sp.csr_matrix, scale: np.ndarray, out: Optional[np.ndarray] = None) -> sp.csr_matrix:
+    """Row-scale a canonical CSR matrix without symbolic work.
+
+    Equivalent to ``sp.diags(scale) @ matrix`` (same values, same structure)
+    but a pure data operation.  Returns a CSR matrix sharing ``matrix``'s
+    index arrays whose row ``i`` is ``scale[i] * matrix[i]``.  ``out``
+    (length ``nnz``, matching dtype) is reused as the data buffer when
+    supplied, avoiding a per-call allocation.
+    """
+    matrix = _canonical_csr(matrix)
+    per_row = np.diff(matrix.indptr)
+    data = np.multiply(matrix.data, np.repeat(scale, per_row), out=out)
+    return _fast_compressed(
+        sp.csr_matrix, data, matrix.indices, matrix.indptr, matrix.shape
+    )
+
+
+def col_scaled_csr(matrix: sp.csr_matrix, scale: np.ndarray) -> sp.csr_matrix:
+    """Column-scale a canonical CSR matrix without symbolic work.
+
+    Equivalent to ``matrix @ sp.diags(scale)`` (same values, same structure)
+    but a pure data operation; the result shares ``matrix``'s index arrays.
+    """
+    matrix = _canonical_csr(matrix)
+    return _fast_compressed(
+        sp.csr_matrix,
+        matrix.data * scale[matrix.indices],
+        matrix.indices,
+        matrix.indptr,
+        matrix.shape,
+    )

@@ -1,0 +1,297 @@
+"""Tests of the pluggable KKT linear-solver layer and the sparse structure caches."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.mips import (
+    FactorizedSolver,
+    KKTSolveError,
+    MIPSOptions,
+    SpsolveSolver,
+    available_kkt_solvers,
+    make_kkt_solver,
+    qps_mips,
+    register_kkt_solver,
+)
+from repro.mips.linsolve import _SOLVERS
+from repro.utils.sparse import (
+    CachedBmat,
+    CachedTranspose,
+    col_scaled_csr,
+    row_scaled_csr,
+)
+
+
+# ------------------------------------------------------------- structure caches
+def _random_csr(rng, m, n, density=0.3, complex_=False):
+    mat = sp.random(m, n, density=density, random_state=rng, format="csr")
+    if complex_:
+        mat = mat + 1j * sp.random(m, n, density=density, random_state=rng, format="csr")
+    mat.sum_duplicates()
+    mat.sort_indices()
+    return mat
+
+
+def test_cached_bmat_matches_scipy_bmat():
+    rng = np.random.RandomState(0)
+    A = _random_csr(rng, 4, 5)
+    B = _random_csr(rng, 4, 3)
+    C = _random_csr(rng, 2, 5)
+    cache = CachedBmat("csr")
+    blocks = [[A, B], [C, None]]
+    out = cache.assemble(blocks)
+    ref = sp.bmat(blocks, format="csr")
+    assert np.allclose(out.toarray(), ref.toarray())
+    assert cache.misses == 1 and cache.hits == 0
+
+    # Same pattern, new values -> fast path, identical result.
+    A2 = A.copy()
+    A2.data = A2.data * 3.0 - 1.0
+    out2 = cache.assemble([[A2, B], [C, None]])
+    ref2 = sp.bmat([[A2, B], [C, None]], format="csr")
+    assert np.allclose(out2.toarray(), ref2.toarray())
+    assert cache.hits == 1
+
+    # The returned matrix owns its data: a later assemble must not mutate it.
+    before = out2.toarray()
+    cache.assemble([[A, B], [C, None]])
+    assert np.allclose(out2.toarray(), before)
+
+
+def test_cached_bmat_rebuilds_on_pattern_change():
+    rng = np.random.RandomState(1)
+    cache = CachedBmat("csc")
+    A = _random_csr(rng, 3, 3, density=0.5)
+    out = cache.assemble([[A]])
+    assert np.allclose(out.toarray(), A.toarray())
+    B = _random_csr(rng, 3, 3, density=0.9)
+    out = cache.assemble([[B]])
+    assert np.allclose(out.toarray(), B.toarray())
+    assert cache.misses == 2
+
+
+def test_cached_bmat_complex_and_empty_blocks():
+    rng = np.random.RandomState(2)
+    A = _random_csr(rng, 3, 4, complex_=True)
+    Z = sp.csr_matrix((3, 2))
+    cache = CachedBmat("csr")
+    out = cache.assemble([[A, Z]])
+    ref = sp.bmat([[A, Z]], format="csr")
+    assert np.allclose(out.toarray(), ref.toarray())
+
+
+def test_cached_transpose_matches_scipy():
+    rng = np.random.RandomState(3)
+    tr = CachedTranspose()
+    A = _random_csr(rng, 5, 7, complex_=True)
+    out = tr.transpose(A)
+    assert np.allclose(out.toarray(), A.T.toarray())
+    A2 = A.copy()
+    A2.data = A2.data * (2.0 - 0.5j)
+    out2 = tr.transpose(A2)
+    assert np.allclose(out2.toarray(), A2.T.toarray())
+
+
+def test_scaled_csr_helpers_match_diag_products():
+    rng = np.random.RandomState(4)
+    A = _random_csr(rng, 6, 4, complex_=True)
+    r = rng.standard_normal(6) + 1j * rng.standard_normal(6)
+    c = rng.standard_normal(4)
+    assert np.allclose(
+        row_scaled_csr(A, r).toarray(), (sp.diags(r) @ A).toarray()
+    )
+    assert np.allclose(
+        col_scaled_csr(A, c).toarray(), (A @ sp.diags(c)).toarray()
+    )
+
+
+# ----------------------------------------------------------------- KKT backends
+def _random_system(seed=0, n=60):
+    rng = np.random.RandomState(seed)
+    A = sp.random(n, n, density=0.1, random_state=rng, format="csc")
+    A = A + sp.diags(np.ones(n) * 3.0)
+    rhs = rng.standard_normal(n)
+    return sp.csc_matrix(A), rhs
+
+
+@pytest.mark.parametrize("name", ["factorized", "spsolve"])
+def test_backends_solve_a_well_posed_system(name):
+    kkt, rhs = _random_system()
+    solver = make_kkt_solver(name)
+    x = solver.solve(kkt, rhs)
+    assert np.allclose(kkt @ x, rhs, atol=1e-9)
+    assert solver.factor_seconds >= 0.0
+
+
+def test_factorized_solver_reuses_symbolic_pattern():
+    kkt, rhs = _random_system(seed=1)
+    solver = FactorizedSolver()
+    x1 = solver.solve(kkt, rhs)
+    assert solver.symbolic_reuses == 0
+    # Same pattern, different values: the cached permutation is reused.
+    kkt2 = kkt.copy()
+    kkt2.data = kkt2.data * 1.5
+    x2 = solver.solve(kkt2, rhs)
+    assert solver.symbolic_reuses == 1
+    assert np.allclose(kkt2 @ x2, rhs, atol=1e-9)
+    assert np.allclose(x2, x1 / 1.5, atol=1e-9)
+    # A different pattern forces a fresh symbolic analysis.
+    kkt3, rhs3 = _random_system(seed=2)
+    x3 = solver.solve(kkt3, rhs3)
+    assert solver.symbolic_reuses == 1
+    assert np.allclose(kkt3 @ x3, rhs3, atol=1e-9)
+
+
+def test_factorized_solver_matches_spsolve():
+    kkt, rhs = _random_system(seed=3)
+    ref = SpsolveSolver().solve(kkt, rhs)
+    out = FactorizedSolver().solve(kkt, rhs)
+    assert np.allclose(out, ref, atol=1e-10)
+
+
+def test_factorized_solver_regularizes_singular_kkt():
+    # Saddle-point system with a fully zero (1,1) block and rank-deficient
+    # Jacobian rows: exactly singular, the seed path's hard-failure case.
+    kkt = sp.csc_matrix(
+        np.array(
+            [
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0],
+                [1.0, 1.0, 0.0],
+            ]
+        )
+    )
+    rhs = np.array([1.0, 1.0, 1.0])
+    solver = FactorizedSolver(regularization=1e-8)
+    x = solver.solve(kkt, rhs)
+    assert solver.regularizations >= 1
+    assert np.all(np.isfinite(x))
+    # The regularised solution still satisfies the consistent equations.
+    assert np.allclose(kkt @ x, rhs, atol=1e-5)
+
+
+def test_factorized_solver_rejects_degraded_regularized_solution():
+    """A singular system with an *inconsistent* rhs has no solution; the
+    regularised factorisation succeeds but its solution must be rejected by
+    the residual check instead of silently returned."""
+    kkt = sp.csc_matrix(
+        np.array(
+            [
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0],
+                [1.0, 1.0, 0.0],
+            ]
+        )
+    )
+    rhs = np.array([1.0, 2.0, 1.0])  # rows 1/2 demand x3 = 1 and x3 = 2
+    solver = FactorizedSolver()
+    with pytest.raises(KKTSolveError, match="residual"):
+        solver.solve(kkt, rhs)
+
+
+def test_factorized_solver_gives_up_on_hopeless_matrix():
+    kkt = sp.csc_matrix((2, 2))
+    solver = FactorizedSolver(regularization=1e-30, reg_growth=1.0 + 1e-9, max_retries=0)
+    with pytest.raises(KKTSolveError):
+        solver.solve(kkt, np.ones(2))
+    # The counter reports actual recoveries, not failed attempts.
+    assert solver.regularizations == 0
+    assert solver.factor_seconds >= 0.0
+
+
+def test_factorized_solver_validation():
+    with pytest.raises(ValueError):
+        FactorizedSolver(regularization=0.0)
+    with pytest.raises(ValueError):
+        FactorizedSolver(reg_growth=1.0)
+    with pytest.raises(ValueError):
+        FactorizedSolver(max_retries=-1)
+    with pytest.raises(ValueError):
+        FactorizedSolver(residual_tol=0.0)
+
+
+# ------------------------------------------------------------ registry/options
+def test_registry_lists_and_rejects():
+    assert set(available_kkt_solvers()) >= {"factorized", "spsolve"}
+    with pytest.raises(ValueError):
+        make_kkt_solver("does-not-exist")
+    with pytest.raises(ValueError):
+        register_kkt_solver("", SpsolveSolver)
+
+
+def test_register_custom_solver():
+    class Custom(SpsolveSolver):
+        name = "custom-test"
+
+    register_kkt_solver("custom-test", Custom)
+    try:
+        assert isinstance(make_kkt_solver("custom-test"), Custom)
+    finally:
+        _SOLVERS.pop("custom-test", None)
+
+
+def test_options_validate_kkt_fields():
+    with pytest.raises(ValueError):
+        MIPSOptions(kkt_solver="nope").validate()
+    with pytest.raises(ValueError):
+        MIPSOptions(kkt_reg=0.0).validate()
+    with pytest.raises(ValueError):
+        MIPSOptions(kkt_max_retries=-1).validate()
+    MIPSOptions(kkt_solver="spsolve").validate()
+
+
+# ------------------------------------------------- backends through the solver
+@pytest.mark.parametrize("name", ["factorized", "spsolve"])
+def test_qp_solves_identically_with_both_backends(name):
+    opts = MIPSOptions(kkt_solver=name)
+    res = qps_mips(
+        2 * np.eye(2), np.zeros(2), A_eq=[[1.0, 1.0]], b_eq=[1.0], options=opts
+    )
+    assert res.converged
+    assert np.allclose(res.x, [0.5, 0.5], atol=1e-6)
+
+
+def test_backends_agree_on_iterations_and_objective():
+    H = np.array([[3.0, 0.5], [0.5, 1.0]])
+    results = {}
+    for name in ("factorized", "spsolve"):
+        results[name] = qps_mips(
+            H,
+            np.array([-1.0, 0.5]),
+            A_in=[[1.0, 1.0]],
+            b_in=[1.0],
+            xmin=np.zeros(2),
+            options=MIPSOptions(kkt_solver=name),
+        )
+    fact, sps = results["factorized"], results["spsolve"]
+    assert fact.converged and sps.converged
+    assert fact.iterations == sps.iterations
+    assert abs(fact.f - sps.f) <= 1e-8 * (1.0 + abs(sps.f))
+    assert np.allclose(fact.x, sps.x, atol=1e-8)
+
+
+def test_singular_kkt_recovered_by_factorized_backend():
+    """A linear objective with a redundant equality row makes the first KKT
+    system exactly singular; the seed path failed hard, the factorized
+    backend's diagonal regularisation lets MIPS continue."""
+    res = qps_mips(
+        None,
+        np.array([1.0, 1.0]),
+        A_eq=[[1.0, 1.0], [1.0, 1.0]],
+        b_eq=[1.0, 1.0],
+        options=MIPSOptions(kkt_solver="factorized"),
+    )
+    assert res.converged
+    assert res.f == pytest.approx(1.0, abs=1e-6)
+
+
+def test_phase_seconds_recorded():
+    res = qps_mips(
+        2 * np.eye(2), np.zeros(2), A_eq=[[1.0, 1.0]], b_eq=[1.0]
+    )
+    assert set(res.phase_seconds) == {"eval", "assembly", "factorization", "backsolve"}
+    assert all(v >= 0.0 for v in res.phase_seconds.values())
+    assert sum(res.phase_seconds.values()) <= res.elapsed_seconds
+    final = res.final_conditions()
+    assert final.factor_seconds >= 0.0

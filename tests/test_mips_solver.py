@@ -230,6 +230,24 @@ def test_bounds_shape_validation():
         mips(f_fcn, np.zeros(2), xmin=np.ones(2), xmax=np.zeros(2))
 
 
+def test_dense_jacobian_callbacks_accepted():
+    """Constraint callbacks may return dense ndarray Jacobians (public API)."""
+
+    def f_fcn(x):
+        return float(x @ x), 2 * x
+
+    def gh_fcn(x):
+        g = np.array([x[0] + x[1] - 1.0])
+        return g, np.zeros(0), np.array([[1.0, 1.0]]), np.zeros((0, 2))
+
+    def hess_fcn(x, lam, mu, cost_mult):
+        return sp.csr_matrix(2 * np.eye(2) * cost_mult)
+
+    res = mips(f_fcn, np.zeros(2), gh_fcn=gh_fcn, hess_fcn=hess_fcn)
+    assert res.converged
+    assert np.allclose(res.x, [0.5, 0.5], atol=1e-6)
+
+
 def test_unconstrained_quadratic_single_newton_step():
     """With no constraints at all the solver is a pure Newton method."""
     def f_fcn(x):

@@ -76,6 +76,27 @@ def test_scenario_sweep_warm_starts(case9_fixture, trained_trainer9):
     assert mean_warm < mean_cold
 
 
+def test_scenario_sweep_applies_branch_outage(case14_fixture):
+    """An N-1 scenario must be solved on the outaged network, not the base one."""
+    from repro.opf import solve_opf
+    from repro.parallel.scenarios import ScenarioSet
+
+    case = case14_fixture
+    scenarios = generate_scenarios(case, 1, contingency_fraction=1.0, seed=6)
+    scenario = scenarios[0]
+    assert scenario.outage_branch is not None
+
+    direct = solve_opf(scenario.apply(case))
+    intact = solve_opf(case, Pd_mw=scenario.Pd, Qd_mvar=scenario.Qd)
+    assert direct.success and intact.success
+    # The outage actually changes the dispatch (otherwise this test is vacuous).
+    assert abs(direct.objective - intact.objective) > 1e-8
+
+    sweep = run_scenario_sweep(case, ScenarioSet(case.name, [scenario]), n_workers=1)
+    assert sweep.success_rate == 1.0
+    assert sweep.outcomes[0].objective == pytest.approx(direct.objective, rel=1e-8)
+
+
 def test_scenario_sweep_validation(case9_fixture):
     scenarios = generate_scenarios(case9_fixture, 2, seed=5)
     with pytest.raises(ValueError):

@@ -151,7 +151,12 @@ def test_box_constrained_diagonal_qp_solution(diag, target):
     c = -2 * diag * target
     res = qps_mips(H, c, xmin=-np.ones(3), xmax=np.ones(3))
     assert res.converged
-    assert np.allclose(res.x, np.clip(target, -1, 1), atol=1e-4)
+    # A well-posed convex QP must never need singular-KKT regularisation.
+    assert res.kkt_regularizations == 0
+    # MIPS stops on its relative termination tolerances (1e-6); for targets
+    # sitting exactly on a bound the iterate can be ~1e-3 inside the box, so
+    # the comparison tolerance must be looser than the solver's, not tighter.
+    assert np.allclose(res.x, np.clip(target, -1, 1), atol=2e-3)
 
 
 # ------------------------------------------------------------------------------ misc
