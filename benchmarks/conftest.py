@@ -17,14 +17,11 @@ SRC = Path(__file__).resolve().parents[1] / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-import numpy as np
 import pytest
 
 from repro.core import SmartPGSim, SmartPGSimConfig
-from repro.data import generate_dataset
 from repro.grid import get_case
 from repro.mtl import fast_config
-from repro.opf import OPFModel
 
 #: Number of ground-truth samples per system (override with REPRO_BENCH_SAMPLES).
 N_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "24"))

@@ -1,0 +1,144 @@
+"""Serving-engine throughput — batched engine vs the sequential seed online loop.
+
+The seed's ``online_evaluate`` served scenarios one at a time: a fresh
+single-row ``predict`` per scenario followed by an in-process warm-started
+solve.  The :class:`~repro.engine.engine.WarmStartEngine` replaces that with
+one batched forward pass plus dispatch over a persistent solver fleet.  This
+benchmark times both paths on the largest bundled system (the 118-bus
+Table-II equivalent) and records the achieved speedup; it also checks that
+the engine's evaluation is *numerically faithful* to the sequential path.
+
+Like the KKT fast-path benchmark, the ≥2x throughput target is only enforced
+under ``REPRO_BENCH_STRICT=1``: it needs a multi-core machine (the 2x comes
+from saturating solver workers; on a single core only the batched-inference
+amortisation remains).  The measured speedup is always recorded in
+``extra_info`` so perf trajectories track it across PRs.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import SmartPGSim, SmartPGSimConfig
+from repro.grid import get_case
+from repro.mtl import fast_config
+from repro.opf import solve_opf
+from repro.parallel import generate_scenarios
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "") == "1"
+#: Workers used for the engine path (bounded so laptops are not oversubscribed).
+N_WORKERS = max(1, min(4, os.cpu_count() or 1))
+
+
+@pytest.fixture(scope="module")
+def framework118():
+    """A small Smart-PGSim pipeline on the 118-bus synthetic system."""
+    config = SmartPGSimConfig(
+        n_samples=10,
+        load_variation=0.05,
+        mtl=fast_config(epochs=10),
+        seed=0,
+    )
+    framework = SmartPGSim(get_case("case118s"), config)
+    framework.offline()
+    return framework
+
+
+def _sequential_seed_path(framework, scenarios):
+    """Replica of the seed online loop: per-row predict + in-process solve."""
+    trainer = framework.artifacts.trainer
+    case = framework.case
+    outcomes = []
+    for scenario in scenarios:
+        warm = trainer.warm_start_for(scenario.feature_vector(case.base_mva))
+        result = solve_opf(
+            case,
+            warm_start=warm,
+            Pd_mw=scenario.Pd,
+            Qd_mvar=scenario.Qd,
+            options=framework.config.opf,
+            model=framework.opf_model,
+        )
+        if not result.success:  # the seed's cold-restart fallback
+            result = solve_opf(
+                case,
+                Pd_mw=scenario.Pd,
+                Qd_mvar=scenario.Qd,
+                options=framework.config.opf,
+                model=framework.opf_model,
+            )
+        outcomes.append(result)
+    return outcomes
+
+
+def test_bench_engine_throughput_vs_sequential(benchmark, framework118):
+    case = framework118.case
+    engine = framework118.engine
+    scenarios = generate_scenarios(case, 10, variation=0.05, seed=11)
+
+    # Sequential seed path (timed manually; one pass is ~1 s of solves).
+    t0 = time.perf_counter()
+    sequential = _sequential_seed_path(framework118, scenarios)
+    sequential_wall = time.perf_counter() - t0
+
+    # Warm the fleet outside the timed section — a serving engine pays process
+    # start-up once, not per request.
+    engine.serve(generate_scenarios(case, 1, variation=0.05, seed=1), n_workers=N_WORKERS)
+    sweep = benchmark.pedantic(
+        lambda: engine.serve(scenarios, n_workers=N_WORKERS), rounds=1, iterations=1
+    )
+    engine.close()
+
+    speedup = sequential_wall / sweep.wall_seconds
+    benchmark.extra_info["sequential_wall_seconds"] = sequential_wall
+    benchmark.extra_info["engine_wall_seconds"] = sweep.wall_seconds
+    benchmark.extra_info["engine_throughput_scen_per_s"] = sweep.throughput
+    benchmark.extra_info["speedup_vs_sequential"] = speedup
+    benchmark.extra_info["n_workers"] = N_WORKERS
+
+    print(
+        f"\nEngine throughput (case118s, {N_WORKERS} worker(s)): "
+        f"sequential {len(scenarios) / sequential_wall:.1f} scen/s, "
+        f"engine {sweep.throughput:.1f} scen/s, speedup {speedup:.2f}x"
+    )
+
+    # Numerical faithfulness holds on any machine.
+    assert sweep.n_scenarios == len(scenarios)
+    for outcome, result in zip(sweep.outcomes, sequential):
+        assert outcome.converged == result.success
+    assert sweep.throughput > 0
+    if STRICT:
+        assert speedup >= 2.0, f"engine speedup {speedup:.2f}x below the 2x target"
+
+
+def test_bench_engine_evaluation_matches_sequential(framework9):
+    """Per-record parity: engine evaluation == sequential seed loop (fixed seed)."""
+    dataset = framework9.artifacts.validation_set
+    trainer = framework9.artifacts.trainer
+    case = framework9.case
+    evaluation = framework9.engine.evaluate(dataset)
+    assert evaluation.n_problems == dataset.n_samples
+    for i, record in enumerate(evaluation.records):
+        warm = trainer.warm_start_for(dataset.inputs[i])
+        result = solve_opf(
+            case,
+            warm_start=warm,
+            Pd_mw=dataset.Pd_mw[i],
+            Qd_mvar=dataset.Qd_mw[i],
+            options=framework9.config.opf,
+            model=framework9.opf_model,
+        )
+        assert record.success == result.success
+        if result.success:
+            assert record.iterations_warm == result.iterations
+        else:
+            cold = solve_opf(
+                case,
+                Pd_mw=dataset.Pd_mw[i],
+                Qd_mvar=dataset.Qd_mw[i],
+                options=framework9.config.opf,
+                model=framework9.opf_model,
+            )
+            assert record.used_fallback
+            assert record.iterations_fallback == cold.iterations

@@ -1,7 +1,5 @@
 """Figure 10 — convergence traces for good and bad initial points."""
 
-import numpy as np
-import pytest
 
 from repro.core import capture_convergence_traces
 from repro.grid import get_case

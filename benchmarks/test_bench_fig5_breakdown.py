@@ -1,6 +1,5 @@
 """Figure 5 — runtime breakdown of MIPS vs Smart-PGSim."""
 
-import pytest
 
 from repro.core import breakdown_from_evaluation
 

@@ -1,7 +1,6 @@
 """Figure 6 — per-feature prediction accuracy of the warm-start point."""
 
 import numpy as np
-import pytest
 
 from repro.data import TASK_NAMES
 

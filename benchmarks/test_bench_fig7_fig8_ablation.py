@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.core.metrics import relative_error_summary
-from repro.data import TASK_NAMES
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,6 @@ branch-flow plus variable-bound rows for µ/Z).
 """
 
 import numpy as np
-import pytest
 
 from repro.grid import get_case
 from repro.opf import OPFModel

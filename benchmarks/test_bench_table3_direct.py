@@ -7,7 +7,6 @@ optimality/feasibility gap, which is exactly the argument for Smart-PGSim's
 design.
 """
 
-import pytest
 
 from repro.core import DirectPredictionBaseline
 

@@ -17,9 +17,9 @@ Typical usage::
     print(evaluation.speedup, evaluation.success_rate)
 """
 
-from repro import core, data, grid, mips, mtl, nn, opf, parallel, powerflow, utils
+from repro import core, data, engine, grid, mips, mtl, nn, opf, parallel, powerflow, utils
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "grid",
@@ -30,6 +30,7 @@ __all__ = [
     "mtl",
     "data",
     "core",
+    "engine",
     "parallel",
     "utils",
     "__version__",

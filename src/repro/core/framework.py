@@ -1,33 +1,54 @@
 """The Smart-PGSim framework: offline training phase and online acceleration.
 
 ``SmartPGSim`` ties the substrates together exactly as Fig. 1 of the paper
-describes:
+describes, but since the serving-engine split it is a *thin orchestrator*:
 
-* **offline** — sample load scenarios, solve them with MIPS to collect ground
-  truth, train the physics-informed MTL model;
-* **online** — for a new problem, run MTL inference to obtain a warm-start
-  point, hand it to MIPS, and fall back to the default start if the
-  warm-started run fails, so the workflow always converges.
+* **offline** — sample load scenarios, collect ground truth through the pooled
+  batch-solve path (:func:`repro.data.dataset.generate_dataset`), train the
+  physics-informed MTL model, then wrap the result in a
+  :class:`~repro.engine.engine.WarmStartEngine`;
+* **online** — delegate to the engine: one batched MTL forward pass produces
+  warm starts for every problem, the persistent solver fleet dispatches the
+  MIPS solves, and the configured
+  :class:`~repro.engine.fallback.FallbackPolicy` recovers failures (the
+  paper's cold restart by default), so the workflow always converges.
+
+The per-problem :class:`~repro.engine.records.OnlineRecord` and the
+aggregated :class:`~repro.engine.records.OnlineEvaluation` live in
+:mod:`repro.engine.records` and are re-exported here for backwards
+compatibility.  A trained pipeline can be persisted with
+``framework.engine.save_artifact(path)`` and served later without retraining
+via :meth:`repro.engine.engine.WarmStartEngine.load_artifact`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.metrics import iteration_reduction, speedup_su, success_rate
 from repro.data.dataset import OPFDataset, TASK_NAMES, generate_dataset
+from repro.engine.engine import WarmStartEngine
+from repro.engine.fallback import get_fallback_policy
+from repro.engine.records import OnlineEvaluation, OnlineRecord
 from repro.grid.components import Case
 from repro.mtl.config import MTLConfig, fast_config
 from repro.mtl.model import SmartPGSimMTL, TaskDimensions
 from repro.mtl.separate import SeparateTaskNetworks
 from repro.mtl.trainer import MTLTrainer, TrainingHistory
 from repro.opf.model import OPFModel
-from repro.opf.solver import OPFOptions, solve_opf
+from repro.opf.solver import OPFOptions
 from repro.utils.logging import get_logger
+
+__all__ = [
+    "SmartPGSim",
+    "SmartPGSimConfig",
+    "OfflineArtifacts",
+    "OnlineRecord",
+    "OnlineEvaluation",
+]
 
 LOGGER = get_logger("core")
 
@@ -45,6 +66,11 @@ class SmartPGSimConfig:
     use_physics: bool = True
     mtl: MTLConfig = field(default_factory=fast_config)
     opf: OPFOptions = field(default_factory=OPFOptions)
+    #: Fallback policy applied to failed warm solves (``"cold_restart"``,
+    #: ``"relaxed_warm"``, ``"none"`` or a policy instance).
+    fallback: str = "cold_restart"
+    #: Solver workers used for ground-truth generation and online dispatch.
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.model_type not in ("mtl", "separate"):
@@ -53,6 +79,9 @@ class SmartPGSimConfig:
             raise ValueError("need at least 5 samples to train and validate")
         if not 0 < self.train_fraction < 1:
             raise ValueError("train_fraction must be in (0, 1)")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        get_fallback_policy(self.fallback)  # validate eagerly
 
 
 @dataclass
@@ -68,106 +97,6 @@ class OfflineArtifacts:
     training_seconds: float
 
 
-@dataclass(frozen=True)
-class OnlineRecord:
-    """Outcome of one online (warm-started) problem.
-
-    ``solver_phase_seconds`` carries the per-phase split of the successful
-    solve (callback evaluation / KKT assembly / factorisation / back
-    substitution) as measured by the MIPS instrumentation.
-    """
-
-    scenario_id: int
-    success: bool
-    used_fallback: bool
-    iterations_warm: int
-    iterations_cold: float
-    inference_seconds: float
-    warm_solve_seconds: float
-    cold_solve_seconds: float
-    restart_seconds: float
-    cost_warm: float
-    cost_cold: float
-    solver_phase_seconds: Dict[str, float] = field(default_factory=dict)
-
-
-@dataclass
-class OnlineEvaluation:
-    """Aggregated online results for one test system (Fig. 4 / Fig. 5 data)."""
-
-    case_name: str
-    records: List[OnlineRecord] = field(default_factory=list)
-
-    @property
-    def n_problems(self) -> int:
-        """Number of evaluated problems."""
-        return len(self.records)
-
-    @property
-    def success_rate(self) -> float:
-        """Warm-start success rate before any restart (Fig. 4c)."""
-        return success_rate([r.success for r in self.records])
-
-    @property
-    def speedup(self) -> float:
-        """End-to-end speedup SU of Eqn. 10 over the evaluation set (Fig. 4a)."""
-        t_mips = float(np.mean([r.cold_solve_seconds for r in self.records]))
-        t_mtl = float(np.mean([r.inference_seconds for r in self.records]))
-        t_warm = float(np.mean([r.warm_solve_seconds for r in self.records if r.success] or [t_mips]))
-        return speedup_su(t_mips, t_mtl, t_warm, self.success_rate)
-
-    @property
-    def iteration_ratio(self) -> float:
-        """Warm-start iterations as a fraction of cold-start iterations (Fig. 4b)."""
-        return iteration_reduction(
-            [r.iterations_cold for r in self.records],
-            [r.iterations_warm for r in self.records if r.success] or [r.iterations_cold for r in self.records],
-        )
-
-    @property
-    def mean_iterations_warm(self) -> float:
-        """Mean warm-start iteration count over successful problems."""
-        values = [r.iterations_warm for r in self.records if r.success]
-        return float(np.mean(values)) if values else float("nan")
-
-    @property
-    def mean_iterations_cold(self) -> float:
-        """Mean cold-start iteration count."""
-        return float(np.mean([r.iterations_cold for r in self.records]))
-
-    @property
-    def mean_cost_deviation(self) -> float:
-        """Mean relative deviation of warm-started cost from the cold-start optimum."""
-        devs = [
-            abs(r.cost_warm - r.cost_cold) / max(abs(r.cost_cold), 1e-12)
-            for r in self.records
-            if r.success
-        ]
-        return float(np.mean(devs)) if devs else float("nan")
-
-    def total_times(self) -> Dict[str, float]:
-        """Summed per-phase wall-clock times (the Fig. 5 breakdown numerators)."""
-        return {
-            "inference": float(sum(r.inference_seconds for r in self.records)),
-            "warm_solve": float(sum(r.warm_solve_seconds for r in self.records)),
-            "restart": float(sum(r.restart_seconds for r in self.records)),
-            "cold_solve": float(sum(r.cold_solve_seconds for r in self.records)),
-        }
-
-    def solver_phase_totals(self) -> Dict[str, float]:
-        """Summed per-phase MIPS component times over the warm-started solves.
-
-        The keys are the MIPS instrumentation phases (``eval``, ``assembly``,
-        ``factorization``, ``backsolve``); these are the *measured* component
-        times behind the Fig. 5 Newton-update bar.
-        """
-        totals: Dict[str, float] = {}
-        for record in self.records:
-            for phase, seconds in record.solver_phase_seconds.items():
-                totals[phase] = totals.get(phase, 0.0) + seconds
-        return totals
-
-
 class SmartPGSim:
     """Offline/online driver for one test system."""
 
@@ -176,6 +105,7 @@ class SmartPGSim:
         self.config = config or SmartPGSimConfig()
         self.opf_model = OPFModel(case, flow_limits=self.config.opf.flow_limits)
         self.artifacts: Optional[OfflineArtifacts] = None
+        self._engine: Optional[WarmStartEngine] = None
 
     # ------------------------------------------------------------------ offline
     def offline(self, dataset: Optional[OPFDataset] = None) -> OfflineArtifacts:
@@ -190,6 +120,7 @@ class SmartPGSim:
                 seed=cfg.seed,
                 options=cfg.opf,
                 model=self.opf_model,
+                n_workers=cfg.n_workers,
             )
         dataset_seconds = time.perf_counter() - t0
 
@@ -222,6 +153,11 @@ class SmartPGSim:
             dataset_seconds=dataset_seconds,
             training_seconds=training_seconds,
         )
+        if self._engine is not None:  # retraining: shut the old fleets down first
+            self._engine.close()
+        self._engine = WarmStartEngine.from_trainer(
+            trainer, opf_options=cfg.opf, fallback=cfg.fallback
+        )
         LOGGER.info(
             "%s offline done: %d samples, dataset %.1fs, training %.1fs",
             self.case.name,
@@ -236,68 +172,44 @@ class SmartPGSim:
             raise RuntimeError("call offline() before online evaluation")
         return self.artifacts
 
+    @property
+    def engine(self) -> WarmStartEngine:
+        """The serving engine wrapping the trained model (requires ``offline``)."""
+        self._require_offline()
+        assert self._engine is not None
+        return self._engine
+
     # ------------------------------------------------------------------- online
     def online_evaluate(
         self,
         dataset: Optional[OPFDataset] = None,
         max_problems: Optional[int] = None,
+        n_workers: Optional[int] = None,
     ) -> OnlineEvaluation:
         """Warm-start every problem of ``dataset`` (default: the validation split).
 
-        Cold-start timings and iteration counts are taken from the dataset
-        (they were measured while generating the ground truth), so the online
-        phase only pays for inference plus the warm-started solve — exactly
-        like the deployed system.
+        Thin wrapper over :meth:`WarmStartEngine.evaluate`: batched inference,
+        fleet dispatch, pluggable fallback.
         """
         artifacts = self._require_offline()
         dataset = dataset or artifacts.validation_set
-        n = dataset.n_samples if max_problems is None else min(max_problems, dataset.n_samples)
+        return self.engine.evaluate(
+            dataset,
+            max_problems=max_problems,
+            n_workers=self.config.n_workers if n_workers is None else n_workers,
+        )
 
-        evaluation = OnlineEvaluation(case_name=self.case.name)
-        for i in range(n):
-            t0 = time.perf_counter()
-            warm = artifacts.trainer.warm_start_for(dataset.inputs[i])
-            inference_seconds = time.perf_counter() - t0
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the serving engine's solver fleets (idempotent)."""
+        if self._engine is not None:
+            self._engine.close()
 
-            result = solve_opf(
-                self.case,
-                warm_start=warm,
-                Pd_mw=dataset.Pd_mw[i],
-                Qd_mvar=dataset.Qd_mw[i],
-                options=self.config.opf,
-                model=self.opf_model,
-            )
-            restart_seconds = 0.0
-            used_fallback = False
-            final = result
-            if not result.success:
-                used_fallback = True
-                restart_seconds = result.total_seconds
-                final = solve_opf(
-                    self.case,
-                    Pd_mw=dataset.Pd_mw[i],
-                    Qd_mvar=dataset.Qd_mw[i],
-                    options=self.config.opf,
-                    model=self.opf_model,
-                )
+    def __enter__(self) -> "SmartPGSim":
+        return self
 
-            evaluation.records.append(
-                OnlineRecord(
-                    scenario_id=i,
-                    success=result.success,
-                    used_fallback=used_fallback,
-                    iterations_warm=result.iterations if result.success else final.iterations,
-                    iterations_cold=float(dataset.iterations[i]),
-                    inference_seconds=inference_seconds,
-                    warm_solve_seconds=result.total_seconds if result.success else final.total_seconds,
-                    cold_solve_seconds=float(dataset.solve_seconds[i]),
-                    restart_seconds=restart_seconds,
-                    cost_warm=final.objective,
-                    cost_cold=float(dataset.objectives[i]),
-                    solver_phase_seconds=dict(final.phase_seconds),
-                )
-            )
-        return evaluation
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -------------------------------------------------------- prediction accuracy
     def prediction_accuracy(self, dataset: Optional[OPFDataset] = None) -> Dict[str, Dict[str, np.ndarray]]:

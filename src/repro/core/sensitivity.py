@@ -20,7 +20,6 @@ from repro.grid.components import Case
 from repro.grid.perturb import sample_loads
 from repro.opf.model import OPFModel
 from repro.opf.solver import OPFOptions, solve_opf
-from repro.opf.warmstart import WarmStart
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike
 

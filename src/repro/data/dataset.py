@@ -2,24 +2,26 @@
 
 The offline phase of Smart-PGSim samples load scenarios, solves each of them
 with the exact MIPS solver and collects the converged primal/dual variables as
-supervision targets.  :func:`generate_dataset` implements that loop and
-:class:`OPFDataset` stores the result as flat NumPy arrays (one row per
-scenario) ready for model training.
+supervision targets.  :func:`generate_dataset` implements that collection over
+the same pooled batch-solve path the serving engine uses (cold starts, one
+persistent solver worker per process) and :class:`OPFDataset` stores the
+result as flat NumPy arrays (one row per scenario) ready for model training.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.grid.components import Case
-from repro.grid.perturb import LoadSample, sample_loads
-from repro.opf.model import OPFModel
-from repro.opf.result import OPFResult
-from repro.opf.solver import OPFOptions, solve_opf
+from repro.grid.perturb import sample_loads
+from repro.opf.model import OPFModel, VariableIndex
+from repro.opf.solver import OPFOptions
+from repro.parallel.pool import run_scenario_sweep
+from repro.parallel.scenarios import Scenario, ScenarioSet
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike
 
@@ -143,19 +145,6 @@ class OPFDataset:
             )
 
 
-def _result_targets(model: OPFModel, result: OPFResult) -> Dict[str, np.ndarray]:
-    parts = model.idx.split(result.x)
-    return {
-        "Va": parts["Va"].copy(),
-        "Vm": parts["Vm"].copy(),
-        "Pg": parts["Pg"].copy(),
-        "Qg": parts["Qg"].copy(),
-        "lam": result.lam.copy(),
-        "z": result.z.copy(),
-        "mu": result.mu.copy(),
-    }
-
-
 def generate_dataset(
     case: Case,
     n_samples: int,
@@ -164,35 +153,55 @@ def generate_dataset(
     options: Optional[OPFOptions] = None,
     model: Optional[OPFModel] = None,
     drop_failures: bool = True,
+    n_workers: int = 1,
 ) -> OPFDataset:
     """Generate ground-truth data by solving sampled scenarios with MIPS.
 
-    Scenarios whose cold-start solve fails to converge are dropped (they are
-    rare for the built-in cases at ±10 % load variation), matching the paper's
-    use of converged solutions as supervision signal.
+    The cold-start solves run through the same pooled batch-solve path as the
+    serving engine: ``n_workers=1`` solves in-process (reusing ``model`` when
+    provided), larger counts distribute the scenarios over persistent solver
+    workers.  Scenarios whose cold-start solve fails to converge are dropped
+    (they are rare for the built-in cases at ±10 % load variation), matching
+    the paper's use of converged solutions as supervision signal.
     """
     options = options or OPFOptions()
-    model = model or OPFModel(case, flow_limits=options.flow_limits)
     samples = sample_loads(case, n_samples, variation=variation, seed=seed)
+    scenario_set = ScenarioSet(
+        case.name,
+        [Scenario(i, sample.Pd, sample.Qd) for i, sample in enumerate(samples)],
+    )
+    sweep = run_scenario_sweep(
+        case,
+        scenario_set,
+        n_workers=n_workers,
+        options=options,
+        collect_solutions=True,
+        model=model if n_workers == 1 else None,
+    )
 
-    rows_in: List[np.ndarray] = []
-    rows_targets: Dict[str, List[np.ndarray]] = {task: [] for task in TASK_NAMES}
+    idx = model.idx if model is not None else VariableIndex(nb=case.n_bus, ng=case.n_gen)
+    rows_in, pd_rows, qd_rows = [], [], []
+    rows_targets: Dict[str, list] = {task: [] for task in TASK_NAMES}
     objectives, iterations, seconds = [], [], []
-    pd_rows, qd_rows = [], []
 
-    for sample in samples:
-        result = solve_opf(case, Pd_mw=sample.Pd, Qd_mvar=sample.Qd, options=options, model=model)
-        if not result.success:
+    for sample, outcome in zip(samples, sweep.outcomes):
+        if not outcome.success:
             LOGGER.warning("scenario %d failed to converge; %s", sample.scenario_id,
                            "dropping" if drop_failures else "keeping")
             if drop_failures:
                 continue
+        solution = outcome.solution
+        assert solution is not None
+        parts = idx.split(solution.x)
         rows_in.append(sample.feature_vector() / case.base_mva)
-        for task, value in _result_targets(model, result).items():
-            rows_targets[task].append(value)
-        objectives.append(result.objective)
-        iterations.append(result.iterations)
-        seconds.append(result.total_seconds)
+        for task in ("Va", "Vm", "Pg", "Qg"):
+            rows_targets[task].append(parts[task].copy())
+        rows_targets["lam"].append(solution.lam)
+        rows_targets["z"].append(solution.z)
+        rows_targets["mu"].append(solution.mu)
+        objectives.append(outcome.objective)
+        iterations.append(outcome.iterations)
+        seconds.append(outcome.solve_seconds)
         pd_rows.append(sample.Pd)
         qd_rows.append(sample.Qd)
 

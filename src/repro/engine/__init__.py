@@ -1,0 +1,39 @@
+"""Batched warm-start serving engine: inference, fleet dispatch, persistence."""
+
+from repro.engine.fallback import (
+    FALLBACK_POLICIES,
+    ColdRestartFallback,
+    FallbackPolicy,
+    NoFallback,
+    RelaxedWarmRetryFallback,
+    get_fallback_policy,
+)
+from repro.engine.records import OnlineEvaluation, OnlineRecord
+from repro.engine.engine import PERSISTED_FALLBACK, WarmStartEngine
+from repro.engine.artifact import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    ArtifactMismatchError,
+    case_fingerprint,
+    load_artifact,
+    save_artifact,
+)
+
+__all__ = [
+    "WarmStartEngine",
+    "PERSISTED_FALLBACK",
+    "OnlineRecord",
+    "OnlineEvaluation",
+    "FallbackPolicy",
+    "ColdRestartFallback",
+    "RelaxedWarmRetryFallback",
+    "NoFallback",
+    "FALLBACK_POLICIES",
+    "get_fallback_policy",
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "ArtifactMismatchError",
+    "case_fingerprint",
+    "save_artifact",
+    "load_artifact",
+]

@@ -1,0 +1,231 @@
+"""The batched warm-start serving engine.
+
+:class:`WarmStartEngine` is the deployable half of Smart-PGSim: a trained
+prediction network plus everything needed to turn load scenarios into solved
+AC-OPF problems at throughput —
+
+* **batched MTL inference** — one forward pass covers a whole batch of load
+  vectors (``warm_starts_for``), instead of one per-row predict per scenario;
+* **a persistent solver fleet** — warm-started MIPS solves are dispatched
+  across the :class:`~repro.parallel.pool.SolverFleet` workers, which stay
+  alive across requests;
+* **pluggable failure recovery** — a :class:`~repro.engine.fallback.FallbackPolicy`
+  decides what happens when a warm solve does not converge;
+* **artifact persistence** — :meth:`save_artifact` / :meth:`load_artifact`
+  bundle model weights, normalizer statistics, configuration and a case
+  fingerprint, so an engine can be reconstructed from disk and serve requests
+  without retraining.
+
+The offline/online driver in :mod:`repro.core.framework` is a thin
+orchestrator over this class.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.data.dataset import OPFDataset
+from repro.engine.fallback import FallbackPolicy, get_fallback_policy
+from repro.engine.records import OnlineEvaluation, OnlineRecord
+from repro.grid.components import Case
+from repro.mtl.config import MTLConfig
+from repro.mtl.normalization import DatasetNormalizer
+from repro.mtl.trainer import MTLTrainer, predict_physical, warm_starts_from_predictions
+from repro.nn.modules import Module
+from repro.opf.model import OPFModel
+from repro.opf.solver import OPFOptions
+from repro.opf.warmstart import WarmStart
+from repro.parallel.pool import SolverFleet, SweepResult
+from repro.parallel.scenarios import Scenario, ScenarioSet
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("engine")
+
+#: Sentinel for :meth:`WarmStartEngine.load_artifact`: "use the fallback
+#: policy persisted in the artifact" (``None`` keeps meaning no recovery).
+PERSISTED_FALLBACK = object()
+
+
+class WarmStartEngine:
+    """Serves batches of load scenarios with MTL warm starts and a solver fleet."""
+
+    def __init__(
+        self,
+        case: Case,
+        network: Module,
+        normalizer: DatasetNormalizer,
+        config: Optional[MTLConfig] = None,
+        opf_options: Optional[OPFOptions] = None,
+        fallback: Union[str, FallbackPolicy, None] = "cold_restart",
+        opf_model: Optional[OPFModel] = None,
+    ):
+        self.case = case
+        self.network = network
+        self.normalizer = normalizer
+        self.config = config or getattr(network, "config", MTLConfig())
+        self.opf_options = opf_options or OPFOptions()
+        self.fallback = get_fallback_policy(fallback)
+        self.opf_model = opf_model or OPFModel(case, flow_limits=self.opf_options.flow_limits)
+        #: Live fleets keyed by worker count; created lazily, kept across calls.
+        self._fleets: Dict[int, SolverFleet] = {}
+
+    # -------------------------------------------------------------- constructors
+    @classmethod
+    def from_trainer(
+        cls,
+        trainer: MTLTrainer,
+        opf_options: Optional[OPFOptions] = None,
+        fallback: Union[str, FallbackPolicy, None] = "cold_restart",
+    ) -> "WarmStartEngine":
+        """Build an engine that shares a trained :class:`MTLTrainer`'s state."""
+        return cls(
+            trainer.opf_model.case,
+            trainer.network,
+            trainer.normalizer,
+            config=trainer.config,
+            opf_options=opf_options,
+            fallback=fallback,
+            opf_model=trainer.opf_model,
+        )
+
+    # ---------------------------------------------------------------- inference
+    def predict_physical(self, inputs_pu: np.ndarray) -> Dict[str, np.ndarray]:
+        """Batched inference for raw p.u. load vectors; outputs in physical units."""
+        return predict_physical(self.network, self.normalizer, inputs_pu)
+
+    def warm_starts_for(self, inputs_pu: np.ndarray) -> List[WarmStart]:
+        """One forward pass over a batch of load vectors → one warm start per row."""
+        return warm_starts_from_predictions(
+            self.predict_physical(np.atleast_2d(inputs_pu)), self.opf_model
+        )
+
+    # ------------------------------------------------------------------ serving
+    def fleet(self, n_workers: int = 1) -> SolverFleet:
+        """The persistent solver fleet for ``n_workers`` (created on first use)."""
+        fleet = self._fleets.get(n_workers)
+        if fleet is None:
+            fleet = SolverFleet(
+                self.case,
+                options=self.opf_options,
+                n_workers=n_workers,
+                fallback=self.fallback,
+                model=self.opf_model if n_workers == 1 else None,
+            )
+            self._fleets[n_workers] = fleet
+            LOGGER.info("%s: started solver fleet with %d worker(s)", self.case.name, n_workers)
+        return fleet
+
+    def serve(self, scenarios: ScenarioSet, n_workers: int = 1) -> SweepResult:
+        """Serve a batch of scenarios: batched inference + fleet dispatch."""
+        warm_starts = self.warm_starts_for(scenarios.feature_matrix(self.case.base_mva))
+        return self.fleet(n_workers).solve(scenarios, warm_starts)
+
+    def serve_loads(
+        self, Pd_mw: np.ndarray, Qd_mvar: np.ndarray, n_workers: int = 1
+    ) -> SweepResult:
+        """Serve raw per-bus load matrices (one row per scenario, MW/MVAr)."""
+        Pd_mw = np.atleast_2d(np.asarray(Pd_mw, dtype=float))
+        Qd_mvar = np.atleast_2d(np.asarray(Qd_mvar, dtype=float))
+        if Pd_mw.shape != Qd_mvar.shape:
+            raise ValueError("Pd_mw and Qd_mvar must have matching shapes")
+        scenarios = ScenarioSet(
+            self.case.name,
+            [Scenario(i, Pd_mw[i].copy(), Qd_mvar[i].copy()) for i in range(Pd_mw.shape[0])],
+        )
+        return self.serve(scenarios, n_workers=n_workers)
+
+    # --------------------------------------------------------------- evaluation
+    def evaluate(
+        self,
+        dataset: OPFDataset,
+        max_problems: Optional[int] = None,
+        n_workers: int = 1,
+    ) -> OnlineEvaluation:
+        """Warm-start every problem of ``dataset`` and aggregate the outcomes.
+
+        Cold-start timings and iteration counts are taken from the dataset
+        (they were measured while generating the ground truth), so the online
+        phase only pays for inference plus the warm-started solve — exactly
+        like the deployed system.  Inference is one batched forward pass; its
+        wall-clock is attributed evenly across the records.
+        """
+        n = dataset.n_samples if max_problems is None else min(max_problems, dataset.n_samples)
+        if n < 1:
+            raise ValueError("dataset has no problems to evaluate")
+
+        t0 = time.perf_counter()
+        warm_starts = self.warm_starts_for(dataset.inputs[:n])
+        inference_seconds = (time.perf_counter() - t0) / n
+
+        scenarios = ScenarioSet(
+            self.case.name,
+            [Scenario(i, dataset.Pd_mw[i], dataset.Qd_mw[i]) for i in range(n)],
+        )
+        sweep = self.fleet(n_workers).solve(scenarios, warm_starts)
+
+        evaluation = OnlineEvaluation(case_name=self.case.name)
+        for outcome in sweep.outcomes:
+            i = outcome.scenario_id
+            evaluation.records.append(
+                OnlineRecord(
+                    scenario_id=i,
+                    success=outcome.success,
+                    used_fallback=outcome.used_fallback,
+                    iterations_warm=outcome.iterations,
+                    iterations_cold=float(dataset.iterations[i]),
+                    inference_seconds=inference_seconds,
+                    warm_solve_seconds=outcome.solve_seconds,
+                    cold_solve_seconds=float(dataset.solve_seconds[i]),
+                    cost_warm=outcome.objective,
+                    cost_cold=float(dataset.objectives[i]),
+                    fallback_success=outcome.fallback_success,
+                    iterations_fallback=outcome.iterations_fallback,
+                    fallback_solve_seconds=outcome.fallback_seconds,
+                    cost_fallback=outcome.objective_fallback,
+                    solver_phase_seconds=dict(outcome.phase_seconds),
+                )
+            )
+        return evaluation
+
+    # -------------------------------------------------------------- persistence
+    def save_artifact(self, path: Union[str, Path]) -> Path:
+        """Persist the engine (weights, normalizer, config, case fingerprint)."""
+        from repro.engine.artifact import save_artifact
+
+        return save_artifact(self, path)
+
+    @staticmethod
+    def load_artifact(
+        path: Union[str, Path],
+        case: Case,
+        opf_options: Optional[OPFOptions] = None,
+        fallback: object = PERSISTED_FALLBACK,
+        opf_model: Optional[OPFModel] = None,
+    ) -> "WarmStartEngine":
+        """Reconstruct an engine previously written by :meth:`save_artifact`.
+
+        ``fallback`` defaults to the policy persisted in the artifact; pass a
+        name, a policy instance or ``None`` (no recovery) to override.
+        """
+        from repro.engine.artifact import load_artifact
+
+        return load_artifact(
+            path, case, opf_options=opf_options, fallback=fallback, opf_model=opf_model
+        )
+
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down every fleet this engine started (idempotent)."""
+        for fleet in self._fleets.values():
+            fleet.close()
+        self._fleets.clear()
+
+    def __enter__(self) -> "WarmStartEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

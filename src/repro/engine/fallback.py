@@ -1,0 +1,114 @@
+"""Pluggable fallback policies for failed warm-started solves.
+
+The paper's online procedure restarts a failed warm solve from the solver
+default so the workflow always converges.  In a serving deployment that is
+only one point in a recovery-cost trade-off: a relaxed-tolerance warm retry is
+often much cheaper than a full cold restart, and a batch analytics job may
+prefer to record the failure and move on.  This module makes that choice a
+policy object that the serving engine and the worker pool thread through
+unchanged — policies are small frozen dataclasses, so they pickle cleanly into
+spawned solver workers.
+
+A policy's :meth:`~FallbackPolicy.recover` receives a ``solve`` callable
+(``solve(warm_start, options=None) -> OPFResult``) bound to the failing
+scenario, the warm start that failed and the failed result; it returns the
+recovery result, or ``None`` to keep the failure as the final answer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Dict, Optional, Type, Union
+
+from repro.opf.result import OPFResult
+from repro.opf.solver import OPFOptions, relaxed_options
+from repro.opf.warmstart import WarmStart
+
+#: Signature of the per-scenario solve callable handed to policies.
+SolveFn = Callable[..., OPFResult]
+
+
+class FallbackPolicy(ABC):
+    """Strategy applied when a warm-started solve fails to converge."""
+
+    #: Registry key (also used when persisting an engine artifact).
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def recover(
+        self,
+        solve: SolveFn,
+        warm: Optional[WarmStart],
+        failed: OPFResult,
+        options: OPFOptions,
+    ) -> Optional[OPFResult]:
+        """Attempt recovery; return the new result or ``None`` to keep ``failed``."""
+
+
+@dataclass(frozen=True)
+class ColdRestartFallback(FallbackPolicy):
+    """Re-solve from the solver default start (the paper's online procedure)."""
+
+    name: ClassVar[str] = "cold_restart"
+
+    def recover(self, solve, warm, failed, options):
+        return solve(None, options)
+
+
+@dataclass(frozen=True)
+class RelaxedWarmRetryFallback(FallbackPolicy):
+    """Retry the warm start with scaled termination tolerances.
+
+    A warm start that stalls just short of the default tolerances usually
+    passes once they are loosened by ``tolerance_scale``; that retry starts
+    from the predicted point, so it is far cheaper than a cold restart.  When
+    ``cold_restart_on_failure`` is set the policy degrades to the cold restart
+    if the relaxed retry also fails, so convergence is still guaranteed.
+    """
+
+    name: ClassVar[str] = "relaxed_warm"
+
+    tolerance_scale: float = 100.0
+    cold_restart_on_failure: bool = True
+
+    def recover(self, solve, warm, failed, options):
+        retry = solve(warm, relaxed_options(options, self.tolerance_scale))
+        if retry.success or not self.cold_restart_on_failure:
+            return retry
+        return solve(None, options)
+
+
+@dataclass(frozen=True)
+class NoFallback(FallbackPolicy):
+    """Record the failure and move on (batch analytics mode)."""
+
+    name: ClassVar[str] = "none"
+
+    def recover(self, solve, warm, failed, options):
+        return None
+
+
+#: Built-in policies, keyed by their registry name.
+FALLBACK_POLICIES: Dict[str, Type[FallbackPolicy]] = {
+    ColdRestartFallback.name: ColdRestartFallback,
+    RelaxedWarmRetryFallback.name: RelaxedWarmRetryFallback,
+    NoFallback.name: NoFallback,
+}
+
+
+def get_fallback_policy(spec: Union[str, FallbackPolicy, None]) -> FallbackPolicy:
+    """Resolve a policy instance from a name, an instance or ``None``.
+
+    ``None`` means "no recovery" and resolves to :class:`NoFallback`.
+    """
+    if spec is None:
+        return NoFallback()
+    if isinstance(spec, FallbackPolicy):
+        return spec
+    try:
+        return FALLBACK_POLICIES[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown fallback policy {spec!r}; expected one of {sorted(FALLBACK_POLICIES)}"
+        ) from None

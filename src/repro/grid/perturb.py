@@ -10,7 +10,7 @@ examples (correlated system-wide scaling, per-area stress).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 import numpy as np
 

@@ -23,6 +23,7 @@ from repro.mtl.trainer import (
     MTLTrainer,
     TrainingHistory,
     warm_start_from_prediction,
+    warm_starts_from_predictions,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "TrainingHistory",
     "EpochStats",
     "warm_start_from_prediction",
+    "warm_starts_from_predictions",
 ]

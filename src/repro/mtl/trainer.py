@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.data.dataset import OPFDataset, TASK_NAMES
 from repro.mtl.config import MTLConfig
-from repro.mtl.model import SmartPGSimMTL
 from repro.mtl.normalization import DatasetNormalizer
 from repro.mtl.physics import PhysicsContext, physics_losses
 from repro.nn.losses import charbonnier
@@ -199,18 +198,23 @@ class MTLTrainer:
     # ----------------------------------------------------------------- inference
     def predict_physical(self, inputs_pu: np.ndarray) -> Dict[str, np.ndarray]:
         """Predict all tasks for raw p.u. load vectors; outputs in physical units."""
-        inputs_pu = np.atleast_2d(np.asarray(inputs_pu, dtype=float))
-        norm_in = np.asarray(self.normalizer.normalize_inputs(inputs_pu), dtype=float)
-        outputs = self.network(Tensor(norm_in))
-        return {
-            task: np.asarray(self.normalizer.denormalize_task(task, out.data))
-            for task, out in outputs.items()
-        }
+        return predict_physical(self.network, self.normalizer, inputs_pu)
 
     def warm_start_for(self, input_pu: np.ndarray) -> WarmStart:
         """Build a solver warm start from the prediction for one load vector."""
         pred = self.predict_physical(np.atleast_2d(input_pu))
         return warm_start_from_prediction({k: v[0] for k, v in pred.items()}, self.opf_model)
+
+    def warm_starts_for(self, inputs_pu: np.ndarray) -> List[WarmStart]:
+        """Build warm starts for a whole batch of load vectors at once.
+
+        One forward pass covers all rows, which is what the serving engine
+        amortises over a fleet of solver workers — N per-row
+        :meth:`warm_start_for` calls pay the full Python dispatch overhead N
+        times for the same arithmetic.
+        """
+        pred = self.predict_physical(np.atleast_2d(inputs_pu))
+        return warm_starts_from_predictions(pred, self.opf_model)
 
     # ---------------------------------------------------------------- evaluation
     def evaluate(self, dataset: OPFDataset) -> Dict[str, float]:
@@ -224,6 +228,34 @@ class MTLTrainer:
             denom = np.maximum(np.abs(target), 1e-6)
             metrics[f"rel_{task}"] = float((err / denom).mean())
         return metrics
+
+
+def predict_physical(
+    network: Module, normalizer: DatasetNormalizer, inputs_pu: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Batched inference helper shared by the trainer and the serving engine.
+
+    Normalises the raw p.u. load vectors, runs one forward pass over the whole
+    batch and maps every task back to physical units.
+    """
+    inputs_pu = np.atleast_2d(np.asarray(inputs_pu, dtype=float))
+    norm_in = np.asarray(normalizer.normalize_inputs(inputs_pu), dtype=float)
+    outputs = network(Tensor(norm_in))
+    return {
+        task: np.asarray(normalizer.denormalize_task(task, out.data))
+        for task, out in outputs.items()
+    }
+
+
+def warm_starts_from_predictions(
+    predictions: Dict[str, np.ndarray], opf_model: OPFModel
+) -> List[WarmStart]:
+    """Turn batched per-task predictions into one :class:`WarmStart` per row."""
+    n = next(iter(predictions.values())).shape[0]
+    return [
+        warm_start_from_prediction({k: v[i] for k, v in predictions.items()}, opf_model)
+        for i in range(n)
+    ]
 
 
 def warm_start_from_prediction(prediction: Dict[str, np.ndarray], opf_model: OPFModel) -> WarmStart:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from repro.nn.modules import Module
 from repro.nn.tensor import Tensor, as_tensor

@@ -1,13 +1,23 @@
-"""Saving and loading model parameters (NumPy ``.npz`` format)."""
+"""Saving and loading model parameters (NumPy ``.npz`` format).
+
+Besides bare state dicts this module offers a small *bundle* format — arrays
+plus one JSON metadata blob in a single ``.npz`` — which the engine artifact
+layer uses to persist a model together with its normalizer statistics,
+configuration and case fingerprint.
+"""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
 from repro.nn.modules import Module
+
+#: Reserved key carrying the JSON metadata blob inside a bundle.
+META_KEY = "__meta__"
 
 
 def save_state_dict(state: Dict[str, np.ndarray], path: Union[str, Path]) -> Path:
@@ -34,3 +44,32 @@ def load_module(module: Module, path: Union[str, Path]) -> Module:
     """Load parameters into ``module`` (shapes must match) and return it."""
     module.load_state_dict(load_state_dict(path))
     return module
+
+
+def save_bundle(
+    path: Union[str, Path], arrays: Dict[str, np.ndarray], meta: Dict[str, object]
+) -> Path:
+    """Write arrays plus a JSON metadata blob to one ``.npz`` file.
+
+    ``meta`` must be JSON-serialisable; it is stored under :data:`META_KEY`.
+    Returns the path NumPy actually wrote (an ``.npz`` suffix is appended when
+    missing).
+    """
+    if META_KEY in arrays:
+        raise ValueError(f"array key {META_KEY!r} is reserved for metadata")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(arrays)
+    payload[META_KEY] = np.array(json.dumps(meta))
+    np.savez(path, **payload)
+    return path if path.suffix == ".npz" else Path(str(path) + ".npz")
+
+
+def load_bundle(path: Union[str, Path]) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """Read a bundle written by :func:`save_bundle`; returns ``(arrays, meta)``."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if META_KEY not in data.files:
+            raise ValueError(f"{path} is not a bundle (missing {META_KEY!r})")
+        meta = json.loads(str(data[META_KEY]))
+        arrays = {key: data[key].copy() for key in data.files if key != META_KEY}
+    return arrays, meta

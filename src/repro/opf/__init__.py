@@ -11,7 +11,13 @@ from repro.opf.constraints import branch_flow_limits, constraint_function, power
 from repro.opf.hessian import hessian_blocks, hessian_function, lagrangian_hessian
 from repro.opf.model import OPFModel, VariableIndex
 from repro.opf.result import OPFResult, build_opf_result
-from repro.opf.solver import OPFOptions, build_model, solve_opf, solve_opf_with_fallback
+from repro.opf.solver import (
+    OPFOptions,
+    build_model,
+    relaxed_options,
+    solve_opf,
+    solve_opf_with_fallback,
+)
 from repro.opf.warmstart import WarmStart
 
 __all__ = [
@@ -24,6 +30,7 @@ __all__ = [
     "build_opf_result",
     "solve_opf",
     "solve_opf_with_fallback",
+    "relaxed_options",
     "objective",
     "objective_hessian_diag",
     "polynomial_cost",

@@ -18,7 +18,7 @@ from typing import Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
-from repro.grid.components import Case, REF
+from repro.grid.components import Case
 from repro.powerflow.derivatives import dSbr_dV
 from repro.powerflow.ybus import AdmittanceMatrices, make_ybus
 from repro.utils.sparse import CachedBmat

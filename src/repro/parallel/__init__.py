@@ -1,7 +1,13 @@
-"""Parallel scenario sweeps and the multi-worker scaling model."""
+"""Parallel scenario sweeps, the solver fleet and the multi-worker scaling model."""
 
 from repro.parallel.cluster import PAPER_WORKER_COUNTS, ClusterModel, calibrate_from_inference
-from repro.parallel.pool import ScenarioOutcome, SweepResult, run_scenario_sweep
+from repro.parallel.pool import (
+    ScenarioOutcome,
+    ScenarioSolution,
+    SolverFleet,
+    SweepResult,
+    run_scenario_sweep,
+)
 from repro.parallel.scenarios import Scenario, ScenarioSet, generate_scenarios
 
 __all__ = [
@@ -9,6 +15,8 @@ __all__ = [
     "ScenarioSet",
     "generate_scenarios",
     "ScenarioOutcome",
+    "ScenarioSolution",
+    "SolverFleet",
     "SweepResult",
     "run_scenario_sweep",
     "ClusterModel",

@@ -49,6 +49,19 @@ class ClusterModel:
         if min(self.broadcast_base, self.broadcast_per_worker, self.imbalance_factor) < 0:
             raise ValueError("overhead parameters must be non-negative")
 
+    # -------------------------------------------------------------- constructors
+    @classmethod
+    def calibrate(cls, engine_throughput: float, **overrides) -> "ClusterModel":
+        """Build the model from a *measured* single-worker engine rate.
+
+        ``engine_throughput`` is the scenarios/second achieved by one batched
+        serving engine worker (e.g. ``SweepResult.throughput`` from a
+        :meth:`repro.engine.engine.WarmStartEngine.serve` run), so the Fig. 9
+        projection is anchored to the real end-to-end rate — inference plus
+        warm-started solve — instead of a hand-fed constant.
+        """
+        return cls(throughput=float(engine_throughput), **overrides)
+
     # ------------------------------------------------------------------ timing
     def time_for(self, n_scenarios: int, n_workers: int) -> float:
         """Wall-clock estimate for ``n_scenarios`` on ``n_workers`` workers."""

@@ -1,17 +1,22 @@
-"""Process-pool scenario runner.
+"""Process-pool scenario runner and the persistent solver fleet.
 
 The SC-ACOPF scenario sweep is embarrassingly parallel: each worker receives a
-batch of scenarios, produces warm starts with the trained model and solves
-them independently.  This module distributes that sweep over CPU processes —
-the same scatter → compute → gather structure as the paper's multi-GPU data
-parallelism, with processes standing in for GPUs.
+batch of scenarios, pairs them with warm starts produced by batched MTL
+inference in the parent and solves them independently.  This module
+distributes that sweep over CPU processes — the same scatter → compute →
+gather structure as the paper's multi-GPU data parallelism, with processes
+standing in for GPUs.
 
-Workers are *persistent*: the case and solver options are shipped once via the
-pool initializer, each worker builds its :class:`~repro.opf.model.OPFModel`
-(admittances, sparsity-structure caches) once and keeps it for its whole
-lifetime, and per-batch messages carry only the scenarios and warm starts.
-This keeps the Fig. 9 scaling benchmark measuring solve throughput rather
-than case re-pickling and model reconstruction.
+Workers are *persistent* at two levels.  Within one sweep the case and solver
+options are shipped once via the pool initializer, each worker builds its
+:class:`~repro.opf.model.OPFModel` (admittances, sparsity-structure caches)
+once and per-batch messages carry only scenarios and warm starts.  Across
+sweeps a :class:`SolverFleet` keeps the worker processes alive, which is what
+the serving engine uses to amortise process start-up over many requests.
+
+Failed solves can be recovered in-worker through a pluggable fallback policy
+(see :mod:`repro.engine.fallback`); the policy object is shipped with the
+initializer, so recovery costs no extra scatter/gather round trip.
 """
 
 from __future__ import annotations
@@ -19,20 +24,44 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from repro.grid.components import Case
 from repro.opf.model import OPFModel
+from repro.opf.result import OPFResult
 from repro.opf.solver import OPFOptions, solve_opf
 from repro.opf.warmstart import WarmStart
 from repro.parallel.scenarios import Scenario, ScenarioSet
 
+if TYPE_CHECKING:  # pragma: no cover - import-time cycle guard (engine imports pool)
+    from repro.engine.fallback import FallbackPolicy
+
+
+@dataclass(frozen=True)
+class ScenarioSolution:
+    """Converged primal/dual variables of one scenario solve.
+
+    Collected (on request) so ground-truth generation can run through the same
+    pooled batch-solve path as online serving.
+    """
+
+    x: np.ndarray
+    lam: np.ndarray
+    mu: np.ndarray
+    z: np.ndarray
+
 
 @dataclass(frozen=True)
 class ScenarioOutcome:
-    """Result of one scenario solve."""
+    """Result of one scenario solve.
+
+    ``success`` / ``iterations`` / ``objective`` / ``solve_seconds`` always
+    describe the first (warm) attempt; when a fallback policy recovered a
+    failure, the ``fallback_*`` fields describe the recovery and the
+    ``final_*`` properties select the solve that produced the final answer.
+    """
 
     scenario_id: int
     success: bool
@@ -40,6 +69,32 @@ class ScenarioOutcome:
     objective: float
     solve_seconds: float
     worker: int = 0
+    used_fallback: bool = False
+    fallback_success: bool = False
+    #: Summed over *every* recovery solve (a relaxed retry that degrades to a
+    #: cold restart counts both), matching ``fallback_seconds``' coverage.
+    iterations_fallback: int = 0
+    objective_fallback: float = float("nan")
+    fallback_seconds: float = 0.0
+    #: Per-phase solver times of the solve that produced the final answer.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Final primal/dual variables (present when solutions were requested).
+    solution: Optional[ScenarioSolution] = None
+
+    @property
+    def converged(self) -> bool:
+        """True when either the first attempt or its fallback converged."""
+        return self.success or (self.used_fallback and self.fallback_success)
+
+    @property
+    def final_iterations(self) -> int:
+        """Iterations spent on the path that produced the final answer."""
+        return self.iterations_fallback if self.used_fallback else self.iterations
+
+    @property
+    def final_objective(self) -> float:
+        """Objective of the solve that produced the final answer."""
+        return self.objective_fallback if self.used_fallback else self.objective
 
 
 @dataclass
@@ -58,8 +113,18 @@ class SweepResult:
 
     @property
     def success_rate(self) -> float:
-        """Fraction of scenarios that converged."""
+        """Fraction of scenarios that converged (after any fallback)."""
+        return float(np.mean([o.converged for o in self.outcomes])) if self.outcomes else 0.0
+
+    @property
+    def warm_success_rate(self) -> float:
+        """Fraction of scenarios whose first (warm) attempt converged."""
         return float(np.mean([o.success for o in self.outcomes])) if self.outcomes else 0.0
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of scenarios that needed the fallback policy."""
+        return float(np.mean([o.used_fallback for o in self.outcomes])) if self.outcomes else 0.0
 
     @property
     def throughput(self) -> float:
@@ -68,24 +133,45 @@ class SweepResult:
 
     def total_solver_seconds(self) -> float:
         """Sum of per-scenario solver times (the serial-equivalent work)."""
-        return float(sum(o.solve_seconds for o in self.outcomes))
+        return float(sum(o.solve_seconds + o.fallback_seconds for o in self.outcomes))
 
 
+# ---------------------------------------------------------------------- workers
 #: Per-process worker state: populated once by :func:`_init_worker`, reused by
 #: every batch the worker processes (model construction and case transfer are
 #: paid once per worker, not once per batch).
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_worker(case: Case, options: OPFOptions) -> None:
+def _build_state(
+    case: Case,
+    options: OPFOptions,
+    fallback: "Optional[FallbackPolicy]" = None,
+    collect_solutions: bool = False,
+    model: Optional[OPFModel] = None,
+) -> Dict[str, object]:
+    return {
+        "case": case,
+        "options": options,
+        "model": model or OPFModel(case, flow_limits=options.flow_limits),
+        "outage_models": {},
+        "fallback": fallback,
+        "collect_solutions": collect_solutions,
+    }
+
+
+def _init_worker(
+    case: Case,
+    options: OPFOptions,
+    fallback: "Optional[FallbackPolicy]" = None,
+    collect_solutions: bool = False,
+) -> None:
     """Pool initializer: build the per-process OPF model once."""
-    _WORKER_STATE["case"] = case
-    _WORKER_STATE["options"] = options
-    _WORKER_STATE["model"] = OPFModel(case, flow_limits=options.flow_limits)
-    _WORKER_STATE["outage_models"] = {}
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(_build_state(case, options, fallback, collect_solutions))
 
 
-def _outage_case_and_model(case: Case, options: OPFOptions, branch: int):
+def _outage_case_and_model(state: Dict[str, object], branch: int):
     """Per-worker memo of outaged-network cases/models, keyed by branch.
 
     Sweeps draw outages from a small candidate set, so the same topology
@@ -93,7 +179,9 @@ def _outage_case_and_model(case: Case, options: OPFOptions, branch: int):
     once per worker keeps contingency scenarios as cheap as load-only ones.
     Loads stay at the base-case values — scenarios override them per solve.
     """
-    cache: Dict[int, tuple] = _WORKER_STATE["outage_models"]
+    case: Case = state["case"]
+    options: OPFOptions = state["options"]
+    cache: Dict[int, tuple] = state["outage_models"]
     entry = cache.get(branch)
     if entry is None:
         outage_case = case.with_loads(
@@ -106,12 +194,11 @@ def _outage_case_and_model(case: Case, options: OPFOptions, branch: int):
 
 
 def _solve_scenario(
+    state: Dict[str, object],
     scenario: Scenario,
     warm: Optional[WarmStart],
-    case: Case,
-    options: OPFOptions,
-    model: OPFModel,
-):
+    options: Optional[OPFOptions] = None,
+) -> OPFResult:
     """Solve one scenario, honouring its N-1 branch outage when present.
 
     Load-only scenarios reuse the persistent per-worker model; an outage
@@ -121,6 +208,9 @@ def _solve_scenario(
     longer line up, so ``µ``/``Z`` fall back to solver defaults while the
     primal point and equality multipliers are kept.
     """
+    case: Case = state["case"]
+    model: OPFModel = state["model"]
+    options = options or state["options"]
     if scenario.outage_branch is None:
         return solve_opf(
             case,
@@ -130,9 +220,7 @@ def _solve_scenario(
             options=options,
             model=model,
         )
-    outage_case, outage_model = _outage_case_and_model(
-        case, options, scenario.outage_branch
-    )
+    outage_case, outage_model = _outage_case_and_model(state, scenario.outage_branch)
     if warm is not None and outage_model.n_ineq_nonlin != model.n_ineq_nonlin:
         warm = warm.masked(use_mu=False, use_z=False)
     return solve_opf(
@@ -145,31 +233,182 @@ def _solve_scenario(
     )
 
 
-def _solve_batch(args) -> List[ScenarioOutcome]:
-    """Worker entry point: solve a batch of scenarios (module-level for pickling).
+def _outcome_for(
+    state: Dict[str, object],
+    scenario: Scenario,
+    warm: Optional[WarmStart],
+    worker_id: int,
+) -> ScenarioOutcome:
+    """Solve one scenario, apply the fallback policy and package the outcome."""
+    options: OPFOptions = state["options"]
+    policy = state["fallback"]
+    first = _solve_scenario(state, scenario, warm)
 
-    Uses the initializer-held case/options/model; batch messages carry only
-    the scenarios, warm starts and a batch id.
-    """
-    scenarios, warm_starts, worker_id = args
-    case: Case = _WORKER_STATE["case"]
-    options: OPFOptions = _WORKER_STATE["options"]
-    model: OPFModel = _WORKER_STATE["model"]
-    outcomes = []
-    for scenario, warm in zip(scenarios, warm_starts):
+    recovered: Optional[OPFResult] = None
+    fallback_seconds = 0.0
+    fallback_iterations = 0
+    if not first.success and policy is not None:
+        attempts: List[OPFResult] = []
+
+        def solve(warm_start, solve_options=None):
+            result = _solve_scenario(state, scenario, warm_start, solve_options)
+            attempts.append(result)
+            return result
+
         t0 = time.perf_counter()
-        result = _solve_scenario(scenario, warm, case, options, model)
-        outcomes.append(
-            ScenarioOutcome(
-                scenario_id=scenario.scenario_id,
-                success=result.success,
-                iterations=result.iterations,
-                objective=result.objective,
-                solve_seconds=time.perf_counter() - t0,
-                worker=worker_id,
+        recovered = policy.recover(solve, warm, first, options)
+        fallback_seconds = time.perf_counter() - t0
+        if recovered is not None:
+            # Charge every recovery solve (e.g. a failed relaxed retry plus
+            # the cold restart), keeping iteration and wall-time accounting
+            # consistent.
+            fallback_iterations = (
+                sum(r.iterations for r in attempts) if attempts else recovered.iterations
             )
+
+    final = recovered if recovered is not None else first
+    solution = None
+    if state["collect_solutions"]:
+        solution = ScenarioSolution(
+            x=final.x.copy(), lam=final.lam.copy(), mu=final.mu.copy(), z=final.z.copy()
         )
-    return outcomes
+    return ScenarioOutcome(
+        scenario_id=scenario.scenario_id,
+        success=first.success,
+        iterations=first.iterations,
+        objective=first.objective,
+        solve_seconds=first.total_seconds,
+        worker=worker_id,
+        used_fallback=recovered is not None,
+        fallback_success=bool(recovered.success) if recovered is not None else False,
+        iterations_fallback=fallback_iterations,
+        objective_fallback=recovered.objective if recovered is not None else float("nan"),
+        fallback_seconds=fallback_seconds,
+        phase_seconds=dict(final.phase_seconds),
+        solution=solution,
+    )
+
+
+def _solve_batch_in_state(
+    state: Dict[str, object],
+    scenarios: List[Scenario],
+    warm_starts: List[Optional[WarmStart]],
+    worker_id: int,
+) -> List[ScenarioOutcome]:
+    return [
+        _outcome_for(state, scenario, warm, worker_id)
+        for scenario, warm in zip(scenarios, warm_starts)
+    ]
+
+
+def _solve_batch(args) -> List[ScenarioOutcome]:
+    """Worker entry point (module-level for pickling); uses the initializer state."""
+    scenarios, warm_starts, worker_id = args
+    return _solve_batch_in_state(_WORKER_STATE, scenarios, warm_starts, worker_id)
+
+
+# ------------------------------------------------------------------------ fleet
+class SolverFleet:
+    """A persistent fleet of solver workers for one case.
+
+    ``n_workers == 1`` runs everything in-process (no subprocesses, optionally
+    reusing a caller-provided :class:`OPFModel`); larger fleets hold a spawn
+    pool whose workers stay alive across :meth:`solve` calls, so a serving
+    engine pays process start-up and model construction once, not per batch.
+
+    Use as a context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        case: Case,
+        options: Optional[OPFOptions] = None,
+        n_workers: int = 1,
+        fallback: "Optional[FallbackPolicy]" = None,
+        collect_solutions: bool = False,
+        model: Optional[OPFModel] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        self.case = case
+        self.options = options or OPFOptions()
+        self.n_workers = n_workers
+        self.fallback = fallback
+        self.collect_solutions = collect_solutions
+        self._pool = None
+        self._state: Optional[Dict[str, object]] = None
+        if n_workers == 1:
+            self._state = _build_state(
+                case, self.options, fallback, collect_solutions, model=model
+            )
+        else:
+            ctx = mp.get_context("spawn")
+            self._pool = ctx.Pool(
+                processes=n_workers,
+                initializer=_init_worker,
+                initargs=(case, self.options, fallback, collect_solutions),
+            )
+
+    # ------------------------------------------------------------------ solving
+    def solve(
+        self,
+        scenario_set: ScenarioSet,
+        warm_starts: Optional[List[Optional[WarmStart]]] = None,
+    ) -> SweepResult:
+        """Solve every scenario of ``scenario_set`` on the fleet.
+
+        ``warm_starts`` is an optional per-scenario list (``None`` entries mean
+        a cold start), typically produced by batched MTL inference in the
+        parent process.
+        """
+        if warm_starts is None:
+            warm_starts = [None] * len(scenario_set)
+        if len(warm_starts) != len(scenario_set):
+            raise ValueError("warm_starts must have one entry per scenario")
+
+        chunks = scenario_set.partition(self.n_workers)
+        jobs = []
+        offset = 0
+        for worker_id, chunk in enumerate(chunks):
+            warm_chunk = warm_starts[offset : offset + len(chunk)]
+            offset += len(chunk)
+            if len(chunk) > 0:
+                jobs.append((list(chunk), warm_chunk, worker_id))
+
+        start = time.perf_counter()
+        if self._pool is None:
+            if self._state is None:
+                raise RuntimeError("fleet is closed")
+            results = [
+                _solve_batch_in_state(self._state, scenarios, warm_chunk, worker_id)
+                for scenarios, warm_chunk, worker_id in jobs
+            ]
+        else:
+            results = self._pool.map(_solve_batch, jobs)
+        wall = time.perf_counter() - start
+
+        sweep = SweepResult(
+            case_name=self.case.name, n_workers=self.n_workers, wall_seconds=wall
+        )
+        for batch in results:
+            sweep.outcomes.extend(batch)
+        sweep.outcomes.sort(key=lambda o: o.scenario_id)
+        return sweep
+
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut the fleet down (terminates pool workers; idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._state = None
+
+    def __enter__(self) -> "SolverFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def run_scenario_sweep(
@@ -178,52 +417,23 @@ def run_scenario_sweep(
     warm_starts: Optional[List[Optional[WarmStart]]] = None,
     n_workers: int = 1,
     options: Optional[OPFOptions] = None,
+    fallback: "Optional[FallbackPolicy]" = None,
+    collect_solutions: bool = False,
+    model: Optional[OPFModel] = None,
 ) -> SweepResult:
-    """Solve every scenario of ``scenario_set`` using ``n_workers`` processes.
+    """Solve every scenario of ``scenario_set`` using a one-shot fleet.
 
-    ``warm_starts`` is an optional per-scenario list (``None`` entries mean a
-    cold start); it is typically produced by batched MTL inference in the
-    parent process.  ``n_workers=1`` runs everything in-process, which is what
-    the unit tests use.
+    Convenience wrapper over :class:`SolverFleet` for single sweeps;
+    ``n_workers=1`` runs everything in-process, which is what the unit tests
+    use.  Long-lived callers (the serving engine) hold a fleet instead so the
+    workers persist across sweeps.
     """
-    options = options or OPFOptions()
-    if warm_starts is None:
-        warm_starts = [None] * len(scenario_set)
-    if len(warm_starts) != len(scenario_set):
-        raise ValueError("warm_starts must have one entry per scenario")
-    if n_workers < 1:
-        raise ValueError("n_workers must be positive")
-
-    chunks = scenario_set.partition(n_workers)
-    warm_chunks: List[List[Optional[WarmStart]]] = []
-    offset = 0
-    for chunk in chunks:
-        warm_chunks.append(warm_starts[offset : offset + len(chunk)])
-        offset += len(chunk)
-
-    jobs = [
-        (list(chunk), warm_chunk, worker_id)
-        for worker_id, (chunk, warm_chunk) in enumerate(zip(chunks, warm_chunks))
-        if len(chunk) > 0
-    ]
-
-    start = time.perf_counter()
-    if n_workers == 1:
-        _init_worker(case, options)
-        try:
-            results = [_solve_batch(job) for job in jobs]
-        finally:
-            _WORKER_STATE.clear()
-    else:
-        ctx = mp.get_context("spawn")
-        with ctx.Pool(
-            processes=n_workers, initializer=_init_worker, initargs=(case, options)
-        ) as pool:
-            results = pool.map(_solve_batch, jobs)
-    wall = time.perf_counter() - start
-
-    sweep = SweepResult(case_name=case.name, n_workers=n_workers, wall_seconds=wall)
-    for batch in results:
-        sweep.outcomes.extend(batch)
-    sweep.outcomes.sort(key=lambda o: o.scenario_id)
-    return sweep
+    with SolverFleet(
+        case,
+        options=options,
+        n_workers=n_workers,
+        fallback=fallback,
+        collect_solutions=collect_solutions,
+        model=model,
+    ) as fleet:
+        return fleet.solve(scenario_set, warm_starts)

@@ -14,7 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.grid.components import Case
-from repro.grid.perturb import LoadSample, sample_loads
+from repro.grid.perturb import sample_loads
 from repro.utils.rng import RNGLike, ensure_rng
 
 

@@ -1,0 +1,157 @@
+"""Artifact round-trip and ``nn/serialization`` coverage.
+
+The key guarantee: an engine reloaded from disk reproduces the original
+engine's predictions *bit for bit* (including the sigmoid-bounded ``z``/``µ``
+heads and the normalizer statistics), so a deployment can be reconstructed
+without retraining and without numerical drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ArtifactError,
+    ArtifactMismatchError,
+    WarmStartEngine,
+    case_fingerprint,
+    load_artifact,
+    save_artifact,
+)
+from repro.mtl import DatasetNormalizer, SeparateTaskNetworks, TaskDimensions, fast_config
+from repro.nn.modules import Linear, Sequential
+from repro.nn.serialization import (
+    load_bundle,
+    load_module,
+    load_state_dict,
+    save_bundle,
+    save_module,
+    save_state_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def engine9(trained_trainer9):
+    return WarmStartEngine.from_trainer(trained_trainer9, fallback="relaxed_warm")
+
+
+# ------------------------------------------------------------- nn/serialization
+def test_state_dict_roundtrip(tmp_path):
+    module = Sequential(Linear(4, 8, rng=0), Linear(8, 2, rng=1))
+    path = save_state_dict(module.state_dict(), tmp_path / "weights.npz")
+    loaded = load_state_dict(path)
+    assert set(loaded) == set(module.state_dict())
+    for name, value in module.state_dict().items():
+        np.testing.assert_array_equal(loaded[name], value)
+
+
+def test_save_load_module_roundtrip(tmp_path):
+    module = Sequential(Linear(3, 5, rng=0))
+    path = save_module(module, tmp_path / "mod.npz")
+    twin = Sequential(Linear(3, 5, rng=99))
+    load_module(twin, path)
+    np.testing.assert_array_equal(twin.state_dict()["layer0.weight"], module.state_dict()["layer0.weight"])
+
+
+def test_bundle_roundtrip_and_reserved_key(tmp_path):
+    arrays = {"a": np.arange(6, dtype=float).reshape(2, 3), "nested/b": np.ones(2)}
+    meta = {"version": 1, "note": "hello", "weights": {"x": 0.5}}
+    path = save_bundle(tmp_path / "bundle.npz", arrays, meta)
+    loaded_arrays, loaded_meta = load_bundle(path)
+    assert loaded_meta == meta
+    assert set(loaded_arrays) == set(arrays)
+    np.testing.assert_array_equal(loaded_arrays["nested/b"], arrays["nested/b"])
+    with pytest.raises(ValueError):
+        save_bundle(tmp_path / "bad.npz", {"__meta__": np.ones(1)}, {})
+
+
+def test_load_bundle_rejects_plain_npz(tmp_path):
+    np.savez(tmp_path / "plain.npz", a=np.ones(2))
+    with pytest.raises(ValueError):
+        load_bundle(tmp_path / "plain.npz")
+
+
+# ------------------------------------------------------------ case fingerprints
+def test_case_fingerprint_ignores_name_but_not_data(case9_fixture):
+    renamed = case9_fixture.copy()
+    renamed.name = "something-else"
+    assert case_fingerprint(renamed) == case_fingerprint(case9_fixture)
+    perturbed = case9_fixture.copy()
+    perturbed.branch.x[0] *= 1.001
+    assert case_fingerprint(perturbed) != case_fingerprint(case9_fixture)
+
+
+# ------------------------------------------------------------ artifact roundtrip
+def test_artifact_roundtrip_bit_identical(engine9, case9_fixture, dataset9, tmp_path):
+    path = save_artifact(engine9, tmp_path / "engine.npz")
+    reloaded = load_artifact(path, case9_fixture)
+
+    inputs = dataset9.inputs
+    original = engine9.predict_physical(inputs)
+    restored = reloaded.predict_physical(inputs)
+    for task in original:
+        np.testing.assert_array_equal(restored[task], original[task])
+    # The sigmoid-bounded z/µ heads must survive exactly: in normalised space
+    # their outputs stay inside the hard [0, 1] box.
+    norm_in = engine9.normalizer.normalize_inputs(inputs)
+    for task in ("z", "mu"):
+        norm_out = reloaded.network.predict(np.asarray(norm_in))[task]
+        assert np.all(norm_out > 0.0) and np.all(norm_out < 1.0)
+
+    # Identical warm starts from the reloaded engine.
+    for warm_a, warm_b in zip(engine9.warm_starts_for(inputs), reloaded.warm_starts_for(inputs)):
+        np.testing.assert_array_equal(warm_a.x, warm_b.x)
+        np.testing.assert_array_equal(warm_a.lam, warm_b.lam)
+        np.testing.assert_array_equal(warm_a.mu, warm_b.mu)
+        np.testing.assert_array_equal(warm_a.z, warm_b.z)
+
+
+def test_artifact_restores_normalizer_config_and_fallback(engine9, case9_fixture, tmp_path):
+    path = engine9.save_artifact(tmp_path / "engine.npz")
+    reloaded = WarmStartEngine.load_artifact(path, case9_fixture)
+    np.testing.assert_array_equal(reloaded.normalizer.inputs.lo, engine9.normalizer.inputs.lo)
+    np.testing.assert_array_equal(reloaded.normalizer.inputs.span, engine9.normalizer.inputs.span)
+    for task, scaler in engine9.normalizer.tasks.items():
+        np.testing.assert_array_equal(reloaded.normalizer.tasks[task].lo, scaler.lo)
+        np.testing.assert_array_equal(reloaded.normalizer.tasks[task].span, scaler.span)
+    assert reloaded.config == engine9.config
+    assert reloaded.opf_options == engine9.opf_options
+    assert reloaded.fallback.name == "relaxed_warm"
+    # Deployment-time overrides win over the persisted policy, and an explicit
+    # ``None`` means "no recovery" exactly as everywhere else in the API.
+    assert WarmStartEngine.load_artifact(path, case9_fixture, fallback="none").fallback.name == "none"
+    assert WarmStartEngine.load_artifact(path, case9_fixture, fallback=None).fallback.name == "none"
+
+
+def test_artifact_mismatched_case_raises(engine9, case14_fixture, tmp_path):
+    path = save_artifact(engine9, tmp_path / "engine.npz")
+    with pytest.raises(ArtifactMismatchError, match="fingerprint"):
+        load_artifact(path, case14_fixture)
+
+
+def test_artifact_rejects_non_artifact_file(case9_fixture, tmp_path):
+    np.savez(tmp_path / "not_an_artifact.npz", a=np.ones(3))
+    with pytest.raises(ArtifactError):
+        load_artifact(tmp_path / "not_an_artifact.npz", case9_fixture)
+
+
+def test_artifact_roundtrip_separate_networks(case9_fixture, dataset9, opf_model9, tmp_path):
+    """The separate-networks baseline persists under its own model-type tag."""
+    dims = TaskDimensions(
+        n_bus=case9_fixture.n_bus,
+        n_gen=case9_fixture.n_gen,
+        n_eq=dataset9.task_dim("lam"),
+        n_ineq=dataset9.task_dim("mu"),
+    )
+    config = fast_config(epochs=1)
+    network = SeparateTaskNetworks(dims, config, seed=3)
+    normalizer = DatasetNormalizer.fit(dataset9.inputs, dataset9.targets)
+    engine = WarmStartEngine(
+        case9_fixture, network, normalizer, config=config, opf_model=opf_model9
+    )
+    path = save_artifact(engine, tmp_path / "separate.npz")
+    reloaded = load_artifact(path, case9_fixture, opf_model=opf_model9)
+    assert isinstance(reloaded.network, SeparateTaskNetworks)
+    original = engine.predict_physical(dataset9.inputs[:3])
+    restored = reloaded.predict_physical(dataset9.inputs[:3])
+    for task in original:
+        np.testing.assert_array_equal(restored[task], original[task])

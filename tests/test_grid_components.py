@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.grid import Case, case9, case14
 from repro.grid.components import PQ, PV, REF, BusTable
 
 

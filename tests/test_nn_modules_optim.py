@@ -23,7 +23,7 @@ from repro.nn import (
     mlp,
     save_state_dict,
 )
-from repro.nn.modules import Module, Parameter
+from repro.nn.modules import Parameter
 
 
 # ----------------------------------------------------------------------- modules

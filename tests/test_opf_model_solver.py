@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.grid import get_case, sample_loads
 from repro.mips import MIPSOptions
 from repro.opf import (
     OPFModel,

@@ -3,15 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.grid import get_case
 from repro.powerflow import (
     dc_nominal_flows,
     dc_power_flow,
     make_bdc,
     make_ybus,
-    mismatch_norm,
     newton_power_flow,
-    power_balance_mismatch,
 )
 
 
