@@ -9,8 +9,10 @@ small so the whole harness runs in minutes on a laptop; scale them up via the
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import time
 from pathlib import Path
 
 SRC = Path(__file__).resolve().parents[1] / "src"
@@ -27,6 +29,43 @@ from repro.mtl import fast_config
 N_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "24"))
 #: Training epochs for benchmark models (override with REPRO_BENCH_EPOCHS).
 N_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "20"))
+
+#: Where the machine-readable perf summary of a benchmark session is written.
+PERF_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_pr3.json"
+
+#: Scalar perf findings recorded by the benchmark modules during the session
+#: (wall times, speedups, solver phase breakdowns), keyed by benchmark name.
+_PERF_RECORDS: dict = {}
+
+
+def record_perf(name: str, **metrics) -> None:
+    """Record scalar perf metrics under ``name`` for the session's perf JSON."""
+    _PERF_RECORDS.setdefault(name, {}).update(
+        {k: (float(v) if isinstance(v, (int, float)) else v) for k, v in metrics.items()}
+    )
+
+
+@pytest.fixture
+def perf_recorder():
+    """The :func:`record_perf` hook, as a fixture for benchmark modules."""
+    return record_perf
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_pr3.json`` so perf is tracked across PRs.
+
+    Only written when at least one benchmark recorded metrics (running the
+    unit-test suite alone leaves the file untouched).
+    """
+    if not _PERF_RECORDS:
+        return
+    payload = {
+        "schema": "repro-perf-v1",
+        "written_at_unix": time.time(),
+        "config": {"bench_samples": N_SAMPLES, "bench_epochs": N_EPOCHS},
+        "benchmarks": _PERF_RECORDS,
+    }
+    PERF_JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 #: The systems every per-system benchmark sweeps over.  ``case9``/``case14``
 #: are exact IEEE data; the larger Table-II systems are synthetic equivalents

@@ -127,7 +127,7 @@ def _legacy_iteration(inp, blocks, z, mu):
     return spla.spsolve(kkt, rhs)
 
 
-def test_bench_kkt_fastpath(benchmark, newton_inputs):
+def test_bench_kkt_fastpath(benchmark, newton_inputs, perf_recorder):
     inp = newton_inputs
     bounds = inp["bounds"]
     x = inp["x"]
@@ -173,6 +173,13 @@ def test_bench_kkt_fastpath(benchmark, newton_inputs):
     benchmark.extra_info["legacy_ms_per_iter"] = legacy_seconds * 1e3
     benchmark.extra_info["fast_ms_per_iter"] = fast_seconds * 1e3
     benchmark.extra_info["speedup"] = speedup
+    perf_recorder(
+        "kkt_fastpath",
+        case="case300s",
+        legacy_ms_per_iter=legacy_seconds * 1e3,
+        fast_ms_per_iter=fast_seconds * 1e3,
+        speedup=speedup,
+    )
 
     print(
         f"\nKKT assembly+solve per iteration (case300s): "

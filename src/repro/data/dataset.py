@@ -20,7 +20,7 @@ from repro.grid.components import Case
 from repro.grid.perturb import sample_loads
 from repro.opf.model import OPFModel, VariableIndex
 from repro.opf.solver import OPFOptions
-from repro.parallel.pool import run_scenario_sweep
+from repro.parallel.pool import EXECUTION_MODES, run_scenario_sweep
 from repro.parallel.scenarios import Scenario, ScenarioSet
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike
@@ -154,17 +154,22 @@ def generate_dataset(
     model: Optional[OPFModel] = None,
     drop_failures: bool = True,
     n_workers: int = 1,
+    execution: str = "scenario",
 ) -> OPFDataset:
     """Generate ground-truth data by solving sampled scenarios with MIPS.
 
     The cold-start solves run through the same pooled batch-solve path as the
     serving engine: ``n_workers=1`` solves in-process (reusing ``model`` when
     provided), larger counts distribute the scenarios over persistent solver
-    workers.  Scenarios whose cold-start solve fails to converge are dropped
-    (they are rare for the built-in cases at ±10 % load variation), matching
-    the paper's use of converged solutions as supervision signal.
+    workers, and ``execution="batch"`` solves each worker's chunk in lockstep
+    (see :func:`repro.opf.batch.solve_opf_batch`).  Scenarios whose cold-start
+    solve fails to converge are dropped (they are rare for the built-in cases
+    at ±10 % load variation), matching the paper's use of converged solutions
+    as supervision signal.
     """
     options = options or OPFOptions()
+    if execution not in EXECUTION_MODES:
+        raise ValueError(f"execution must be one of {EXECUTION_MODES}")
     samples = sample_loads(case, n_samples, variation=variation, seed=seed)
     scenario_set = ScenarioSet(
         case.name,
@@ -177,6 +182,7 @@ def generate_dataset(
         options=options,
         collect_solutions=True,
         model=model if n_workers == 1 else None,
+        execution=execution,
     )
 
     idx = model.idx if model is not None else VariableIndex(nb=case.n_bus, ng=case.n_gen)

@@ -127,6 +127,7 @@ def load_artifact(
     opf_options: Optional[OPFOptions] = None,
     fallback: object = PERSISTED_FALLBACK,
     opf_model: Optional[OPFModel] = None,
+    execution: str = "scenario",
 ) -> WarmStartEngine:
     """Reconstruct a :class:`WarmStartEngine` from an artifact file.
 
@@ -136,6 +137,8 @@ def load_artifact(
     values and can be overridden for the new deployment; passing
     ``fallback=None`` explicitly selects no recovery
     (:class:`~repro.engine.fallback.NoFallback`), as everywhere else.
+    ``execution`` selects the solver fleet's execution mode (it is a
+    deployment choice, not part of the trained artifact).
     """
     try:
         arrays, meta = load_bundle(path)
@@ -189,4 +192,5 @@ def load_artifact(
         opf_options=opf_options,
         fallback=get_fallback_policy(fallback),
         opf_model=opf_model,
+        execution=execution,
     )

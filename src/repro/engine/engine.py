@@ -39,7 +39,7 @@ from repro.nn.modules import Module
 from repro.opf.model import OPFModel
 from repro.opf.solver import OPFOptions
 from repro.opf.warmstart import WarmStart
-from repro.parallel.pool import SolverFleet, SweepResult
+from repro.parallel.pool import EXECUTION_MODES, SolverFleet, SweepResult
 from repro.parallel.scenarios import Scenario, ScenarioSet
 from repro.utils.logging import get_logger
 
@@ -62,6 +62,7 @@ class WarmStartEngine:
         opf_options: Optional[OPFOptions] = None,
         fallback: Union[str, FallbackPolicy, None] = "cold_restart",
         opf_model: Optional[OPFModel] = None,
+        execution: str = "scenario",
     ):
         self.case = case
         self.network = network
@@ -70,6 +71,12 @@ class WarmStartEngine:
         self.opf_options = opf_options or OPFOptions()
         self.fallback = get_fallback_policy(fallback)
         self.opf_model = opf_model or OPFModel(case, flow_limits=self.opf_options.flow_limits)
+        if execution not in EXECUTION_MODES:
+            # Fail at construction, not at the first (lazy) fleet creation.
+            raise ValueError(f"execution must be one of {EXECUTION_MODES}")
+        #: Worker execution mode: ``"scenario"`` (per-scenario solves) or
+        #: ``"batch"`` (lockstep batched MIPS per worker).
+        self.execution = execution
         #: Live fleets keyed by worker count; created lazily, kept across calls.
         self._fleets: Dict[int, SolverFleet] = {}
 
@@ -80,6 +87,7 @@ class WarmStartEngine:
         trainer: MTLTrainer,
         opf_options: Optional[OPFOptions] = None,
         fallback: Union[str, FallbackPolicy, None] = "cold_restart",
+        execution: str = "scenario",
     ) -> "WarmStartEngine":
         """Build an engine that shares a trained :class:`MTLTrainer`'s state."""
         return cls(
@@ -90,6 +98,7 @@ class WarmStartEngine:
             opf_options=opf_options,
             fallback=fallback,
             opf_model=trainer.opf_model,
+            execution=execution,
         )
 
     # ---------------------------------------------------------------- inference
@@ -114,9 +123,15 @@ class WarmStartEngine:
                 n_workers=n_workers,
                 fallback=self.fallback,
                 model=self.opf_model if n_workers == 1 else None,
+                execution=self.execution,
             )
             self._fleets[n_workers] = fleet
-            LOGGER.info("%s: started solver fleet with %d worker(s)", self.case.name, n_workers)
+            LOGGER.info(
+                "%s: started %s-mode solver fleet with %d worker(s)",
+                self.case.name,
+                self.execution,
+                n_workers,
+            )
         return fleet
 
     def serve(self, scenarios: ScenarioSet, n_workers: int = 1) -> SweepResult:
@@ -132,9 +147,12 @@ class WarmStartEngine:
         Qd_mvar = np.atleast_2d(np.asarray(Qd_mvar, dtype=float))
         if Pd_mw.shape != Qd_mvar.shape:
             raise ValueError("Pd_mw and Qd_mvar must have matching shapes")
+        # Row views into the validated matrices are enough: Scenario is frozen
+        # and the rows are consumed within this call — copying every row just
+        # doubled the request's allocation rate.
         scenarios = ScenarioSet(
             self.case.name,
-            [Scenario(i, Pd_mw[i].copy(), Qd_mvar[i].copy()) for i in range(Pd_mw.shape[0])],
+            [Scenario(i, Pd_mw[i], Qd_mvar[i]) for i in range(Pd_mw.shape[0])],
         )
         return self.serve(scenarios, n_workers=n_workers)
 
@@ -205,6 +223,7 @@ class WarmStartEngine:
         opf_options: Optional[OPFOptions] = None,
         fallback: object = PERSISTED_FALLBACK,
         opf_model: Optional[OPFModel] = None,
+        execution: str = "scenario",
     ) -> "WarmStartEngine":
         """Reconstruct an engine previously written by :meth:`save_artifact`.
 
@@ -214,7 +233,12 @@ class WarmStartEngine:
         from repro.engine.artifact import load_artifact
 
         return load_artifact(
-            path, case, opf_options=opf_options, fallback=fallback, opf_model=opf_model
+            path,
+            case,
+            opf_options=opf_options,
+            fallback=fallback,
+            opf_model=opf_model,
+            execution=execution,
         )
 
     # ---------------------------------------------------------------- lifecycle

@@ -9,6 +9,7 @@ from repro.mips.linsolve import (
     make_kkt_solver,
     register_kkt_solver,
 )
+from repro.mips.batch import mips_batch
 from repro.mips.options import MIPSOptions
 from repro.mips.qp import qps_mips
 from repro.mips.result import ConstraintPartition, IterationRecord, MIPSResult
@@ -20,6 +21,7 @@ __all__ = [
     "IterationRecord",
     "ConstraintPartition",
     "mips",
+    "mips_batch",
     "qps_mips",
     "KKTSolver",
     "KKTSolveError",

@@ -1,0 +1,496 @@
+"""Lockstep batched MIPS: solve B same-structure NLPs at once.
+
+Scenario sweeps hand the solver many instances of the *same* problem
+structure — one case topology, one sparsity pattern, different loads and warm
+starts.  Solving them one at a time leaves most of the per-iteration time in
+small-matrix NumPy/SciPy call overhead.  :func:`mips_batch` instead advances a
+whole batch in lockstep: primal/dual state is held as ``(B, ·)`` matrices, the
+callback evaluation, constraint stacking, Lagrangian gradient, step-length /
+centering and convergence math are vectorised across the batch axis, and only
+the inherently per-scenario work — KKT assembly, factorisation and
+back-substitution — runs in a loop over the *active* scenarios.
+
+Scenarios retire individually: a converged (or numerically failed) scenario
+drops out of the active set immediately, so stragglers never pay for
+finishers.  Each scenario gets its own :class:`~repro.mips.result.MIPSResult`
+with the same message vocabulary, iteration history and termination behaviour
+as the scalar :func:`~repro.mips.solver.mips` — the parity suite asserts the
+two agree scenario-by-scenario.
+
+Phase-timing attribution is honest but necessarily shared for the vectorised
+phases: batched evaluation time is split evenly across the scenarios that
+participated in the evaluation, while assembly / factorisation / backsolve are
+measured per slot.  Each scenario's ``elapsed_seconds`` is the lockstep wall
+time until its retirement.
+
+The batched callbacks exchange Jacobian/Hessian *data planes* — ``(B, nnz)``
+arrays on fixed sparsity templates (see :mod:`repro.opf.batch` for the AC-OPF
+implementation):
+
+* ``f_fcn(X, idx) -> (F, dF)`` — objective values ``(B,)`` and gradients
+  ``(B, nx)``;
+* ``gh_fcn(X, idx) -> (G, H, Jg_data, Jh_data)`` — nonlinear constraint
+  values and Jacobian data planes on ``jg_template`` / ``jh_template``;
+* ``hess_fcn(X, Lam_nl, Mu_nl, cost_mult, idx) -> Hdata`` — Lagrangian
+  Hessian data planes on ``hess_template``.
+
+``idx`` carries the original batch positions of the rows of ``X`` so callbacks
+can look up per-scenario data (loads) for the shrinking active set.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.mips.linsolve import KKTSolveError, make_kkt_solver
+from repro.mips.options import MIPSOptions
+from repro.mips.result import IterationRecord, MIPSResult
+from repro.mips.solver import _BoundHandler, _KKTAssembler
+from repro.utils.logging import get_logger
+from repro.utils.sparse import (
+    batched_matvec,
+    batched_row_sums,
+    csr_from_template,
+    transpose_plan,
+)
+
+LOGGER = get_logger("mips")
+
+#: Batched objective callback: ``(X, idx) -> (F, dF)``.
+BatchedObjectiveFn = Callable[[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]
+#: Batched constraint callback: ``(X, idx) -> (G, H, Jg_data, Jh_data)``.
+BatchedConstraintFn = Callable[
+    [np.ndarray, np.ndarray],
+    Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+]
+#: Batched Hessian callback: ``(X, Lam_nl, Mu_nl, cost_mult, idx) -> Hdata``.
+BatchedHessianFn = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, float, np.ndarray], np.ndarray
+]
+
+_PHASES = ("eval", "assembly", "factorization", "backsolve")
+
+
+def _canonical_template(template: Optional[sp.spmatrix], nx: int) -> sp.csr_matrix:
+    if template is None:
+        return sp.csr_matrix((0, nx))
+    t = sp.csr_matrix(template).tocsr()
+    t.sort_indices()
+    return t
+
+
+def _warm_rows(
+    values: Optional[np.ndarray], mask: Optional[np.ndarray], batch: int, n: int, name: str
+) -> Tuple[Optional[np.ndarray], np.ndarray]:
+    """Validate a warm-start value matrix and its per-scenario presence mask."""
+    if values is None:
+        return None, np.zeros(batch, dtype=bool)
+    values = np.asarray(values, dtype=float)
+    if values.shape != (batch, n):
+        raise ValueError(f"{name} must have shape ({batch}, {n})")
+    if mask is None:
+        mask = np.ones(batch, dtype=bool)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (batch,):
+            raise ValueError(f"{name} mask must have shape ({batch},)")
+    return values, mask
+
+
+def mips_batch(
+    f_fcn: BatchedObjectiveFn,
+    x0: np.ndarray,
+    gh_fcn: Optional[BatchedConstraintFn] = None,
+    hess_fcn: Optional[BatchedHessianFn] = None,
+    *,
+    jg_template: Optional[sp.spmatrix] = None,
+    jh_template: Optional[sp.spmatrix] = None,
+    hess_template: Optional[sp.spmatrix] = None,
+    xmin: Optional[np.ndarray] = None,
+    xmax: Optional[np.ndarray] = None,
+    lam0: Optional[np.ndarray] = None,
+    mu0: Optional[np.ndarray] = None,
+    z0: Optional[np.ndarray] = None,
+    lam0_mask: Optional[np.ndarray] = None,
+    mu0_mask: Optional[np.ndarray] = None,
+    z0_mask: Optional[np.ndarray] = None,
+    options: Optional[MIPSOptions] = None,
+) -> List[MIPSResult]:
+    """Solve ``B`` same-structure NLPs in lockstep; one result per scenario.
+
+    Parameters mirror :func:`repro.mips.solver.mips` lifted to a batch axis:
+    ``x0`` is ``(B, nx)``, bounds are shared (same structure implies the same
+    bound vectors), warm starts are ``(B, ·)`` matrices whose rows apply only
+    where the corresponding ``*_mask`` entry is True (all rows when the mask
+    is omitted).  ``jg_template`` / ``jh_template`` / ``hess_template`` carry
+    the fixed sparsity patterns of the nonlinear-constraint Jacobians and the
+    Lagrangian Hessian whose data planes the callbacks produce.
+
+    Returns a list of per-scenario :class:`MIPSResult` in batch order.
+    """
+    opt = options or MIPSOptions()
+    opt.validate()
+
+    X = np.array(x0, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("x0 must be a (B, nx) matrix")
+    batch, nx = X.shape
+    xmin = np.full(nx, -np.inf) if xmin is None else np.asarray(xmin, dtype=float)
+    xmax = np.full(nx, np.inf) if xmax is None else np.asarray(xmax, dtype=float)
+    if xmin.shape != (nx,) or xmax.shape != (nx,):
+        raise ValueError("xmin/xmax must match the width of x0")
+    if np.any(xmin > xmax):
+        raise ValueError("xmin > xmax for at least one variable")
+    if hess_fcn is None or hess_template is None:
+        raise ValueError("mips_batch requires hess_fcn and hess_template")
+    if gh_fcn is not None and (jg_template is None or jh_template is None):
+        raise ValueError("jg_template/jh_template are required with gh_fcn")
+
+    bounds = _BoundHandler(nx, xmin, xmax, opt.bound_eq_tol)
+    eq_idx, ub_idx, lb_idx = bounds.eq_idx, bounds.ub_idx, bounds.lb_idx
+    nub = ub_idx.size
+
+    jg_t = _canonical_template(jg_template, nx)
+    jh_t = _canonical_template(jh_template, nx)
+    hess_t = _canonical_template(hess_template, nx)
+    n_eq_nl, n_ineq_nl = jg_t.shape[0], jh_t.shape[0]
+    partition = bounds.partition(n_eq_nl, n_ineq_nl)
+    neq, niq = partition.n_eq, partition.n_ineq
+
+    jgT_order, jgT_indptr, jgT_indices = transpose_plan(jg_t)
+    jhT_order, jhT_indptr, jhT_indices = transpose_plan(jh_t)
+
+    solvers = [
+        make_kkt_solver(
+            opt.kkt_solver, regularization=opt.kkt_reg, max_retries=opt.kkt_max_retries
+        )
+        for _ in range(batch)
+    ]
+    assembler = _KKTAssembler()
+
+    # ------------------------------------------------------------- batch state
+    start_time = time.perf_counter()
+    X[:, eq_idx] = xmin[eq_idx]
+    if lb_idx.size:
+        X[:, lb_idx] = np.maximum(X[:, lb_idx], xmin[lb_idx])
+    if ub_idx.size:
+        X[:, ub_idx] = np.minimum(X[:, ub_idx], xmax[ub_idx])
+
+    F = np.zeros(batch)
+    dF = np.zeros((batch, nx))
+    G = np.zeros((batch, neq))
+    H = np.zeros((batch, niq))
+    Jg_data = np.zeros((batch, jg_t.nnz))
+    Jh_data = np.zeros((batch, jh_t.nnz))
+    Lx = np.zeros((batch, nx))
+    lam = np.zeros((batch, neq))
+    mu = np.zeros((batch, niq))
+    z = np.zeros((batch, niq))
+    gamma = np.full(batch, opt.z0)
+    conds = np.zeros((batch, 4))
+    tols = np.array([opt.feastol, opt.gradtol, opt.comptol, opt.costtol])
+
+    iterations = np.zeros(batch, dtype=int)
+    phase = {name: np.zeros(batch) for name in _PHASES}
+    histories: List[List[IterationRecord]] = [[] for _ in range(batch)]
+    results: List[Optional[MIPSResult]] = [None] * batch
+    active = np.ones(batch, dtype=bool)
+
+    def evaluate(idx: np.ndarray) -> float:
+        """Evaluate objective + constraints for rows ``idx``; returns wall time."""
+        t0 = time.perf_counter()
+        Xa = X[idx]
+        f_raw, df_raw = f_fcn(Xa, idx)
+        F[idx] = np.asarray(f_raw, dtype=float) * opt.cost_mult
+        dF[idx] = np.asarray(df_raw, dtype=float) * opt.cost_mult
+        if gh_fcn is not None:
+            g_nl, h_nl, jgd, jhd = gh_fcn(Xa, idx)
+            g_nl = np.asarray(g_nl, dtype=float)
+            h_nl = np.asarray(h_nl, dtype=float)
+        else:
+            g_nl = np.zeros((idx.size, 0))
+            h_nl = np.zeros((idx.size, 0))
+            jgd = np.zeros((idx.size, 0))
+            jhd = np.zeros((idx.size, 0))
+        G[idx] = np.concatenate([g_nl, Xa[:, eq_idx] - xmin[eq_idx]], axis=1)
+        H[idx] = np.concatenate(
+            [h_nl, Xa[:, ub_idx] - xmax[ub_idx], xmin[lb_idx] - Xa[:, lb_idx]], axis=1
+        )
+        Jg_data[idx] = jgd
+        Jh_data[idx] = jhd
+        return time.perf_counter() - t0
+
+    def lagrangian_gradient(idx: np.ndarray) -> None:
+        Lxa = dF[idx].copy()
+        lam_a = lam[idx]
+        mu_a = mu[idx]
+        if n_eq_nl:
+            td = Jg_data[idx][:, jgT_order]
+            Lxa += batched_row_sums(td * lam_a[:, :n_eq_nl][:, jgT_indices], jgT_indptr)
+        if eq_idx.size:
+            Lxa[:, eq_idx] += lam_a[:, n_eq_nl:]
+        if n_ineq_nl:
+            td = Jh_data[idx][:, jhT_order]
+            Lxa += batched_row_sums(td * mu_a[:, :n_ineq_nl][:, jhT_indices], jhT_indptr)
+        if nub:
+            Lxa[:, ub_idx] += mu_a[:, n_ineq_nl : n_ineq_nl + nub]
+        if lb_idx.size:
+            Lxa[:, lb_idx] -= mu_a[:, n_ineq_nl + nub :]
+        Lx[idx] = Lxa
+
+    def conditions(idx: np.ndarray, F0a: np.ndarray) -> None:
+        """Vectorised version of the scalar solver's four termination tests."""
+        na = idx.size
+        zeros = np.zeros(na)
+        maxh = H[idx].max(axis=1) if niq else np.full(na, -np.inf)
+        norm_g = np.abs(G[idx]).max(axis=1) if neq else zeros
+        norm_x = np.abs(X[idx]).max(axis=1)
+        norm_z = np.abs(z[idx]).max(axis=1) if niq else zeros
+        norm_lam = np.abs(lam[idx]).max(axis=1) if neq else zeros
+        norm_mu = np.abs(mu[idx]).max(axis=1) if niq else zeros
+        feas = np.maximum(norm_g, maxh) / (1.0 + np.maximum(norm_x, norm_z))
+        grad = np.abs(Lx[idx]).max(axis=1) / (1.0 + np.maximum(norm_lam, norm_mu))
+        comp = (np.einsum("ij,ij->i", z[idx], mu[idx]) if niq else zeros) / (
+            1.0 + norm_x
+        )
+        cost = np.abs(F[idx] - F0a) / (1.0 + np.abs(F0a))
+        conds[idx] = np.stack([feas, grad, comp, cost], axis=1)
+
+    def finalize(b: int, message: str, converged: bool) -> None:
+        active[b] = False
+        if solvers[b].regularizations:
+            LOGGER.warning(
+                "scenario %d: KKT system was singular %d time(s); recovered with "
+                "diagonal regularisation",
+                b,
+                solvers[b].regularizations,
+            )
+        results[b] = MIPSResult(
+            x=X[b].copy(),
+            f=F[b] / opt.cost_mult,
+            converged=converged,
+            iterations=int(iterations[b]),
+            lam=lam[b].copy(),
+            mu=mu[b].copy(),
+            z=z[b].copy(),
+            partition=partition,
+            message=message,
+            history=histories[b],
+            elapsed_seconds=time.perf_counter() - start_time,
+            phase_seconds={name: float(phase[name][b]) for name in _PHASES},
+            kkt_regularizations=solvers[b].regularizations,
+        )
+
+    # ----------------------------------------------------------------- entry
+    all_idx = np.arange(batch)
+    entry_dt = evaluate(all_idx)
+    phase["eval"] += entry_dt / batch
+
+    lam0, lam_mask = _warm_rows(lam0, lam0_mask, batch, neq, "lam0")
+    mu0, mu_mask = _warm_rows(mu0, mu0_mask, batch, niq, "mu0")
+    z0, z_mask = _warm_rows(z0, z0_mask, batch, niq, "z0")
+    if lam0 is not None and np.any(lam_mask):
+        lam[lam_mask] = lam0[lam_mask]
+    if niq:
+        z[:] = opt.z0
+        below = H < -opt.z0
+        z[below] = -H[below]
+        if z0 is not None and np.any(z_mask):
+            z[z_mask] = np.maximum(z0[z_mask], 1e-10)
+        mu[:] = opt.z0
+        big = gamma[:, None] / np.maximum(z, 1e-300) > opt.z0
+        mu[big] = np.broadcast_to(gamma[:, None], z.shape)[big] / z[big]
+        if mu0 is not None and np.any(mu_mask):
+            mu[mu_mask] = np.maximum(mu0[mu_mask], 1e-10)
+        warm = mu_mask | z_mask
+        if np.any(warm):
+            gamma[warm] = np.maximum(
+                opt.sigma * np.einsum("ij,ij->i", z[warm], mu[warm]) / niq, 1e-12
+            )
+
+    lagrangian_gradient(all_idx)
+    F0 = F.copy()
+    conditions(all_idx, F0)
+
+    if opt.record_history:
+        entry_share = entry_dt / batch
+        for b in range(batch):
+            histories[b].append(
+                IterationRecord(
+                    iteration=0,
+                    step_size=0.0,
+                    feascond=conds[b, 0],
+                    gradcond=conds[b, 1],
+                    compcond=conds[b, 2],
+                    costcond=conds[b, 3],
+                    objective=F[b] / opt.cost_mult,
+                    gamma=gamma[b],
+                    alpha_primal=0.0,
+                    alpha_dual=0.0,
+                    eval_seconds=entry_share,
+                )
+            )
+
+    for b in np.flatnonzero((conds < tols).all(axis=1)):
+        finalize(int(b), "converged", True)
+
+    # ------------------------------------------------------------------ loop
+    it = 0
+    while np.any(active) and it < opt.max_it:
+        it += 1
+        idx = np.flatnonzero(active)
+        iterations[idx] = it
+        na = idx.size
+
+        # ------------------------------------------------- batched Hessian eval
+        t0 = time.perf_counter()
+        Hdata = np.atleast_2d(
+            np.asarray(
+                hess_fcn(
+                    X[idx], lam[idx][:, :n_eq_nl], mu[idx][:, :n_ineq_nl], opt.cost_mult, idx
+                )
+            )
+        )
+        hess_dt = time.perf_counter() - t0
+        phase["eval"][idx] += hess_dt / na
+        it_eval = np.zeros(batch)
+        it_eval[idx] = hess_dt / na
+        it_asm = np.zeros(batch)
+        it_fac = np.zeros(batch)
+        it_back = np.zeros(batch)
+
+        # ---------------------------------- per-slot assembly + factor + solve
+        DX = np.zeros((batch, nx))
+        Dlam = np.zeros((batch, neq))
+        survivors: List[int] = []
+        for p, b in enumerate(idx):
+            t0 = time.perf_counter()
+            Lxx = csr_from_template(hess_t, Hdata[p])
+            Jg_b, Jh_b = bounds.stack_jacobians(
+                csr_from_template(jg_t, Jg_data[b]), csr_from_template(jh_t, Jh_data[b])
+            )
+            kkt, rhs = assembler.build(
+                Lxx, Jg_b, Jh_b, Lx[b], G[b], H[b], z[b], mu[b], gamma[b]
+            )
+            asm_dt = time.perf_counter() - t0
+            phase["assembly"][b] += asm_dt
+            it_asm[b] = asm_dt
+            try:
+                sol = solvers[b].solve(kkt, rhs)
+            except KKTSolveError:
+                phase["factorization"][b] += solvers[b].factor_seconds
+                finalize(int(b), "numerically failed (singular KKT system)", False)
+                continue
+            phase["factorization"][b] += solvers[b].factor_seconds
+            phase["backsolve"][b] += solvers[b].backsolve_seconds
+            it_fac[b] = solvers[b].factor_seconds
+            it_back[b] = solvers[b].backsolve_seconds
+            if not np.all(np.isfinite(sol)):
+                finalize(int(b), "numerically failed (non-finite Newton step)", False)
+                continue
+            dx = sol[:nx]
+            if float(np.max(np.abs(dx))) > opt.max_stepsize:
+                finalize(int(b), "numerically failed (step size exploded)", False)
+                continue
+            DX[b] = dx
+            if neq:
+                Dlam[b] = sol[nx:]
+            survivors.append(int(b))
+
+        if not survivors:
+            continue
+        s = np.asarray(survivors)
+        DXs = DX[s]
+
+        # ------------------------------------------ batched step-length update
+        if niq:
+            Jh_dx = np.zeros((s.size, niq))
+            if n_ineq_nl:
+                Jh_dx[:, :n_ineq_nl] = batched_matvec(
+                    Jh_data[s], jh_t.indptr, jh_t.indices, DXs
+                )
+            if nub:
+                Jh_dx[:, n_ineq_nl : n_ineq_nl + nub] = DXs[:, ub_idx]
+            if lb_idx.size:
+                Jh_dx[:, n_ineq_nl + nub :] = -DXs[:, lb_idx]
+            DZ = -H[s] - z[s] - Jh_dx
+            DMU = -mu[s] + (gamma[s][:, None] - mu[s] * DZ) / z[s]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                alphap = np.minimum(
+                    opt.xi * np.where(DZ < 0, z[s] / -DZ, np.inf).min(axis=1), 1.0
+                )
+                alphad = np.minimum(
+                    opt.xi * np.where(DMU < 0, mu[s] / -DMU, np.inf).min(axis=1), 1.0
+                )
+        else:
+            DZ = np.zeros((s.size, 0))
+            DMU = np.zeros((s.size, 0))
+            alphap = np.ones(s.size)
+            alphad = np.ones(s.size)
+
+        X[s] += alphap[:, None] * DXs
+        if niq:
+            z[s] += alphap[:, None] * DZ
+            mu[s] += alphad[:, None] * DMU
+            gamma[s] = opt.sigma * np.einsum("ij,ij->i", z[s], mu[s]) / niq
+        if neq:
+            lam[s] += alphad[:, None] * Dlam[s]
+
+        # --------------------------------------------------- batched re-evaluate
+        F0s = F[s].copy()
+        dt = evaluate(s)
+        phase["eval"][s] += dt / s.size
+        it_eval[s] += dt / s.size
+        lagrangian_gradient(s)
+        conditions(s, F0s)
+
+        if opt.record_history:
+            step_sizes = np.abs(DXs).max(axis=1) if nx else np.zeros(s.size)
+            for pos, b in enumerate(s):
+                histories[b].append(
+                    IterationRecord(
+                        iteration=it,
+                        step_size=float(step_sizes[pos]),
+                        feascond=conds[b, 0],
+                        gradcond=conds[b, 1],
+                        compcond=conds[b, 2],
+                        costcond=conds[b, 3],
+                        objective=F[b] / opt.cost_mult,
+                        gamma=gamma[b],
+                        alpha_primal=float(alphap[pos]),
+                        alpha_dual=float(alphad[pos]),
+                        eval_seconds=it_eval[b],
+                        assembly_seconds=it_asm[b],
+                        factor_seconds=it_fac[b],
+                        backsolve_seconds=it_back[b],
+                    )
+                )
+        if opt.verbose:
+            LOGGER.info(
+                "it %3d  active=%d  worst feas=%.3e grad=%.3e comp=%.3e cost=%.3e",
+                it,
+                s.size,
+                conds[s, 0].max(),
+                conds[s, 1].max(),
+                conds[s, 2].max(),
+                conds[s, 3].max(),
+            )
+
+        converged_now = (conds[s] < tols).all(axis=1)
+        nonfinite = ~np.isfinite(X[s]).all(axis=1)
+        diverged = np.abs(X[s]).max(axis=1) > opt.max_stepsize
+        for pos, b in enumerate(s):
+            if converged_now[pos]:
+                finalize(int(b), "converged", True)
+            elif nonfinite[pos]:
+                finalize(int(b), "numerically failed (non-finite iterate)", False)
+            elif diverged[pos]:
+                finalize(int(b), "numerically failed (iterate diverged)", False)
+
+    for b in np.flatnonzero(active):
+        finalize(int(b), "iteration limit reached", False)
+    return results  # type: ignore[return-value]

@@ -112,9 +112,21 @@ class _BoundHandler:
         h = np.concatenate(
             [h_nl, x[self.ub_idx] - self.xmax[self.ub_idx], self.xmin[self.lb_idx] - x[self.lb_idx]]
         )
+        Jg, Jh = self.stack_jacobians(Jg_nl, Jh_nl)
+        return g, h, Jg, Jh
+
+    def stack_jacobians(
+        self, Jg_nl: sp.spmatrix, Jh_nl: sp.spmatrix
+    ) -> Tuple[sp.csr_matrix, sp.csr_matrix]:
+        """Stack nonlinear Jacobians on top of the constant bound-selector rows.
+
+        Shared with the lockstep batch solver, which stacks the constraint
+        *values* batch-vectorised but still needs per-slot stacked Jacobians
+        for the KKT assembly.
+        """
         Jg = cached_vstack_csr(self._Jg_cache, [Jg_nl, self._E_eq])
         Jh = cached_vstack_csr(self._Jh_cache, [Jh_nl, self._E_ub, self._E_lb])
-        return g, h, Jg, Jh
+        return Jg, Jh
 
     def interior_start(self, x0: np.ndarray) -> np.ndarray:
         """Clip the starting point strictly inside non-degenerate bounds and onto fixed values."""
@@ -389,9 +401,14 @@ def mips(
         mu_nl = mu[:n_ineq_nl]
         t_eval = time.perf_counter()
         if hess_fcn is not None:
-            Lxx = sp.csr_matrix(hess_fcn(x, lam_nl, mu_nl, opt.cost_mult))
+            Lxx = hess_fcn(x, lam_nl, mu_nl, opt.cost_mult)
+            # The OPF callbacks already return CSR; converting again would
+            # copy the whole matrix every iteration for nothing.
+            if not sp.isspmatrix_csr(Lxx):
+                Lxx = sp.csr_matrix(Lxx)
         elif d2f_cached is not None:
-            Lxx = sp.csr_matrix(d2f_cached) * opt.cost_mult
+            d2f = d2f_cached if sp.isspmatrix_csr(d2f_cached) else sp.csr_matrix(d2f_cached)
+            Lxx = d2f * opt.cost_mult
         else:
             raise ValueError(
                 "no Hessian available: provide hess_fcn or a 3-tuple objective"

@@ -1,5 +1,6 @@
 """AC optimal power flow: model, constraints, Hessian, driver and warm starts."""
 
+from repro.opf.batch import BatchedOPFModel, solve_opf_batch
 from repro.opf.costs import (
     objective,
     objective_hessian_diag,
@@ -21,6 +22,7 @@ from repro.opf.solver import (
 from repro.opf.warmstart import WarmStart
 
 __all__ = [
+    "BatchedOPFModel",
     "OPFModel",
     "VariableIndex",
     "OPFOptions",
@@ -29,6 +31,7 @@ __all__ = [
     "build_model",
     "build_opf_result",
     "solve_opf",
+    "solve_opf_batch",
     "solve_opf_with_fallback",
     "relaxed_options",
     "objective",

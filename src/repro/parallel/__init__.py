@@ -2,6 +2,7 @@
 
 from repro.parallel.cluster import PAPER_WORKER_COUNTS, ClusterModel, calibrate_from_inference
 from repro.parallel.pool import (
+    EXECUTION_MODES,
     ScenarioOutcome,
     ScenarioSolution,
     SolverFleet,
@@ -11,6 +12,7 @@ from repro.parallel.pool import (
 from repro.parallel.scenarios import Scenario, ScenarioSet, generate_scenarios
 
 __all__ = [
+    "EXECUTION_MODES",
     "Scenario",
     "ScenarioSet",
     "generate_scenarios",

@@ -14,9 +14,19 @@ once and per-batch messages carry only scenarios and warm starts.  Across
 sweeps a :class:`SolverFleet` keeps the worker processes alive, which is what
 the serving engine uses to amortise process start-up over many requests.
 
+Each worker supports two *execution modes*.  ``"scenario"`` (the default)
+solves its batch one scenario at a time through :func:`solve_opf`;
+``"batch"`` solves all same-topology scenarios of the batch in lockstep
+through :func:`repro.opf.batch.solve_opf_batch`, which vectorises the
+evaluation/assembly phases across the batch and loops only for the
+per-scenario factorise/backsolve.  The two modes compose with multi-worker
+fleets: with ``n_workers > 1`` each worker runs one lockstep batch over its
+chunk of the sweep.
+
 Failed solves can be recovered in-worker through a pluggable fallback policy
 (see :mod:`repro.engine.fallback`); the policy object is shipped with the
-initializer, so recovery costs no extra scatter/gather round trip.
+initializer, so recovery costs no extra scatter/gather round trip.  In batch
+mode the (rare) recoveries run per scenario after the lockstep solve.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 import numpy as np
 
 from repro.grid.components import Case
+from repro.opf.batch import BatchedOPFModel, solve_opf_batch
 from repro.opf.model import OPFModel
 from repro.opf.result import OPFResult
 from repro.opf.solver import OPFOptions, solve_opf
@@ -37,6 +48,9 @@ from repro.parallel.scenarios import Scenario, ScenarioSet
 
 if TYPE_CHECKING:  # pragma: no cover - import-time cycle guard (engine imports pool)
     from repro.engine.fallback import FallbackPolicy
+
+#: Valid worker execution modes.
+EXECUTION_MODES = ("scenario", "batch")
 
 
 @dataclass(frozen=True)
@@ -149,14 +163,17 @@ def _build_state(
     fallback: "Optional[FallbackPolicy]" = None,
     collect_solutions: bool = False,
     model: Optional[OPFModel] = None,
+    execution: str = "scenario",
 ) -> Dict[str, object]:
     return {
         "case": case,
         "options": options,
         "model": model or OPFModel(case, flow_limits=options.flow_limits),
         "outage_models": {},
+        "batched_models": {},
         "fallback": fallback,
         "collect_solutions": collect_solutions,
+        "execution": execution,
     }
 
 
@@ -165,10 +182,13 @@ def _init_worker(
     options: OPFOptions,
     fallback: "Optional[FallbackPolicy]" = None,
     collect_solutions: bool = False,
+    execution: str = "scenario",
 ) -> None:
     """Pool initializer: build the per-process OPF model once."""
     _WORKER_STATE.clear()
-    _WORKER_STATE.update(_build_state(case, options, fallback, collect_solutions))
+    _WORKER_STATE.update(
+        _build_state(case, options, fallback, collect_solutions, execution=execution)
+    )
 
 
 def _outage_case_and_model(state: Dict[str, object], branch: int):
@@ -233,16 +253,85 @@ def _solve_scenario(
     )
 
 
+def _batched_model_for(state: Dict[str, object], branch: Optional[int], model: OPFModel):
+    """Per-worker memo of batched evaluation models, keyed by outage branch."""
+    cache: Dict[Optional[int], BatchedOPFModel] = state["batched_models"]
+    batched = cache.get(branch)
+    if batched is None:
+        batched = BatchedOPFModel(model)
+        cache[branch] = batched
+    return batched
+
+
+def _lockstep_first_attempts(
+    state: Dict[str, object],
+    scenarios: List[Scenario],
+    warm_starts: List[Optional[WarmStart]],
+) -> List[OPFResult]:
+    """First (warm) attempts for a worker batch, solved in lockstep.
+
+    Scenarios are grouped by topology — all load-only scenarios share the
+    base network, and N-1 scenarios share their outaged network per branch —
+    because only same-structure problems can march in lockstep.  Groups of
+    one fall back to the scalar path (a one-off topology gains nothing from
+    the batch machinery).  Warm-start ``µ``/``Z`` are masked on topology
+    changes exactly like the scalar path.
+    """
+    options: OPFOptions = state["options"]
+    base_model: OPFModel = state["model"]
+    results: List[Optional[OPFResult]] = [None] * len(scenarios)
+    groups: Dict[Optional[int], List[int]] = {}
+    for pos, scenario in enumerate(scenarios):
+        groups.setdefault(scenario.outage_branch, []).append(pos)
+    for branch, positions in groups.items():
+        if len(positions) == 1:
+            pos = positions[0]
+            results[pos] = _solve_scenario(state, scenarios[pos], warm_starts[pos])
+            continue
+        if branch is None:
+            case, model = state["case"], base_model
+        else:
+            case, model = _outage_case_and_model(state, branch)
+        warms = []
+        for pos in positions:
+            warm = warm_starts[pos]
+            if (
+                warm is not None
+                and branch is not None
+                and model.n_ineq_nonlin != base_model.n_ineq_nonlin
+            ):
+                warm = warm.masked(use_mu=False, use_z=False)
+            warms.append(warm)
+        batch_results = solve_opf_batch(
+            case,
+            np.stack([scenarios[pos].Pd for pos in positions]),
+            np.stack([scenarios[pos].Qd for pos in positions]),
+            warm_starts=warms,
+            options=options,
+            model=model,
+            batched=_batched_model_for(state, branch, model),
+        )
+        for pos, result in zip(positions, batch_results):
+            results[pos] = result
+    return results  # type: ignore[return-value]
+
+
 def _outcome_for(
     state: Dict[str, object],
     scenario: Scenario,
     warm: Optional[WarmStart],
     worker_id: int,
+    first: Optional[OPFResult] = None,
 ) -> ScenarioOutcome:
-    """Solve one scenario, apply the fallback policy and package the outcome."""
+    """Solve one scenario, apply the fallback policy and package the outcome.
+
+    ``first`` short-circuits the initial solve with a result computed
+    elsewhere (the lockstep batch path); recovery still runs per scenario.
+    """
     options: OPFOptions = state["options"]
     policy = state["fallback"]
-    first = _solve_scenario(state, scenario, warm)
+    if first is None:
+        first = _solve_scenario(state, scenario, warm)
 
     recovered: Optional[OPFResult] = None
     fallback_seconds = 0.0
@@ -295,6 +384,12 @@ def _solve_batch_in_state(
     warm_starts: List[Optional[WarmStart]],
     worker_id: int,
 ) -> List[ScenarioOutcome]:
+    if state.get("execution") == "batch" and len(scenarios) > 1:
+        firsts = _lockstep_first_attempts(state, scenarios, warm_starts)
+        return [
+            _outcome_for(state, scenario, warm, worker_id, first=first)
+            for scenario, warm, first in zip(scenarios, warm_starts, firsts)
+        ]
     return [
         _outcome_for(state, scenario, warm, worker_id)
         for scenario, warm in zip(scenarios, warm_starts)
@@ -316,6 +411,12 @@ class SolverFleet:
     pool whose workers stay alive across :meth:`solve` calls, so a serving
     engine pays process start-up and model construction once, not per batch.
 
+    ``execution`` selects how each worker solves its chunk: ``"scenario"``
+    (one solve at a time, the default) or ``"batch"`` (lockstep batched MIPS
+    over same-topology scenarios — see :func:`repro.opf.batch.solve_opf_batch`).
+    The modes compose: a multi-worker batch fleet runs one lockstep batch per
+    worker process.
+
     Use as a context manager, or call :meth:`close` when done.
     """
 
@@ -327,26 +428,31 @@ class SolverFleet:
         fallback: "Optional[FallbackPolicy]" = None,
         collect_solutions: bool = False,
         model: Optional[OPFModel] = None,
+        execution: str = "scenario",
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
+        if execution not in EXECUTION_MODES:
+            raise ValueError(f"execution must be one of {EXECUTION_MODES}")
         self.case = case
         self.options = options or OPFOptions()
         self.n_workers = n_workers
         self.fallback = fallback
         self.collect_solutions = collect_solutions
+        self.execution = execution
         self._pool = None
         self._state: Optional[Dict[str, object]] = None
         if n_workers == 1:
             self._state = _build_state(
-                case, self.options, fallback, collect_solutions, model=model
+                case, self.options, fallback, collect_solutions, model=model,
+                execution=execution,
             )
         else:
             ctx = mp.get_context("spawn")
             self._pool = ctx.Pool(
                 processes=n_workers,
                 initializer=_init_worker,
-                initargs=(case, self.options, fallback, collect_solutions),
+                initargs=(case, self.options, fallback, collect_solutions, execution),
             )
 
     # ------------------------------------------------------------------ solving
@@ -420,6 +526,7 @@ def run_scenario_sweep(
     fallback: "Optional[FallbackPolicy]" = None,
     collect_solutions: bool = False,
     model: Optional[OPFModel] = None,
+    execution: str = "scenario",
 ) -> SweepResult:
     """Solve every scenario of ``scenario_set`` using a one-shot fleet.
 
@@ -435,5 +542,6 @@ def run_scenario_sweep(
         fallback=fallback,
         collect_solutions=collect_solutions,
         model=model,
+        execution=execution,
     ) as fleet:
         return fleet.solve(scenario_set, warm_starts)

@@ -4,14 +4,29 @@ from repro.powerflow.ybus import AdmittanceMatrices, make_connection_matrices, m
 from repro.powerflow.injections import (
     branch_flows,
     bus_injection,
+    bus_injection_batch,
     gen_injection,
     load_injection,
     mismatch_norm,
     polar_to_complex,
     power_balance_mismatch,
 )
-from repro.powerflow.derivatives import dAbr_dV, dIbr_dV, dSbr_dV, dSbus_dV
-from repro.powerflow.hessians import d2ASbr_dV2, d2Sbr_dV2, d2Sbus_dV2
+from repro.powerflow.derivatives import (
+    BatchedBranchDerivatives,
+    BatchedSbusDerivatives,
+    dAbr_dV,
+    dIbr_dV,
+    dSbr_dV,
+    dSbus_dV,
+)
+from repro.powerflow.hessians import (
+    BatchedASbrHessian,
+    BatchedPolarHessian,
+    BatchedSbusHessian,
+    d2ASbr_dV2,
+    d2Sbr_dV2,
+    d2Sbus_dV2,
+)
 from repro.powerflow.newton import PowerFlowResult, newton_power_flow
 from repro.powerflow.dc import DCMatrices, dc_nominal_flows, dc_power_flow, make_bdc
 
@@ -20,7 +35,13 @@ __all__ = [
     "make_ybus",
     "make_connection_matrices",
     "bus_injection",
+    "bus_injection_batch",
     "branch_flows",
+    "BatchedSbusDerivatives",
+    "BatchedBranchDerivatives",
+    "BatchedPolarHessian",
+    "BatchedSbusHessian",
+    "BatchedASbrHessian",
     "gen_injection",
     "load_injection",
     "power_balance_mismatch",

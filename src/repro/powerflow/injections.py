@@ -24,6 +24,15 @@ def bus_injection(Ybus: sp.spmatrix, V: np.ndarray) -> np.ndarray:
     return V * np.conj(Ybus @ V)
 
 
+def bus_injection_batch(Ybus: sp.spmatrix, V: np.ndarray) -> np.ndarray:
+    """Batch-axis :func:`bus_injection`: ``V`` is ``(B, nb)``, one row per slot.
+
+    The admittance matrix is shared across the batch (same network, many
+    voltage states), so the matvec becomes one sparse-times-dense product.
+    """
+    return V * np.conj((Ybus @ V.T).T)
+
+
 def branch_flows(
     adm: AdmittanceMatrices, V: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:

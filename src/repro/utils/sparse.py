@@ -18,11 +18,24 @@ the cache hit.
 Caches are **not thread-safe**.  Returned matrices own their ``data`` array
 (safe to hold across calls) but share the cached index arrays — treat them as
 read-only.
+
+Batch extension
+---------------
+The batched lockstep solver (:mod:`repro.mips.batch`) evaluates *B*
+same-structure problems at once: every sparse quantity becomes one shared
+sparsity pattern plus a ``(B, nnz)`` *data plane*.  The second half of this
+module provides the pattern-level plans that make those data planes cheap to
+manipulate: :func:`pattern_union` (scatter several fixed patterns into one),
+:func:`transpose_plan` (the data permutation of a fixed-pattern transpose),
+:func:`batched_row_sums` / :func:`batched_matvec` (per-slot CSR reductions)
+and :class:`MatmulPlan` (a fixed-pattern sparse matrix product expanded once
+into gather/reduce indices).  All plans are computed once per pattern and
+replayed as pure NumPy data operations.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -30,10 +43,17 @@ import scipy.sparse as sp
 __all__ = [
     "CachedBmat",
     "CachedTranspose",
+    "MatmulPlan",
+    "batched_matvec",
+    "batched_row_sums",
     "cached_vstack_csr",
     "col_scaled_csr",
+    "csr_from_template",
+    "csr_rows",
+    "pattern_union",
     "row_scaled_csr",
     "same_pattern",
+    "transpose_plan",
 ]
 
 
@@ -223,6 +243,31 @@ class CachedBmat:
             matrix_cls, src[self._order], template.indices, template.indptr, template.shape
         )
 
+    def assemble_batch(self, data_planes: Sequence[np.ndarray]) -> np.ndarray:
+        """Batched fast path over a previously cached structure.
+
+        ``data_planes`` holds one ``(B, nnz)`` array per *non-None* block in
+        row-major block order, with exactly the patterns of the last
+        :meth:`assemble` call (callers prime the cache once with template
+        matrices and are responsible for keeping the patterns in sync).
+        Returns the ``(B, out_nnz)`` data planes of the assembled matrix in
+        the cached template's storage order.
+        """
+        if self._order is None:
+            raise RuntimeError("assemble_batch requires a primed cache (call assemble first)")
+        planes = [np.atleast_2d(np.asarray(p)) for p in data_planes]
+        src = np.concatenate(planes, axis=1) if planes else np.zeros((1, 0))
+        return src[:, self._order]
+
+    @property
+    def template(self):
+        """The cached assembled matrix (pattern only — data is meaningless).
+
+        Shares the cache's index arrays; treat it as read-only.  ``None``
+        until the first :meth:`assemble` call.
+        """
+        return self._template
+
 
 class CachedTranspose:
     """Transpose a CSR matrix with cached symbolic structure.
@@ -305,3 +350,174 @@ def col_scaled_csr(matrix: sp.csr_matrix, scale: np.ndarray) -> sp.csr_matrix:
         matrix.indptr,
         matrix.shape,
     )
+
+
+# --------------------------------------------------------------- batch plans
+def csr_rows(matrix: sp.csr_matrix) -> np.ndarray:
+    """Row index of every stored nonzero of a canonical CSR matrix."""
+    return np.repeat(np.arange(matrix.shape[0]), np.diff(matrix.indptr))
+
+
+def csr_from_template(template: sp.csr_matrix, data: np.ndarray) -> sp.csr_matrix:
+    """Canonical CSR matrix with ``template``'s pattern and fresh ``data``.
+
+    Shares the template's index arrays (read-only contract); this is how one
+    slot of a batched ``(B, nnz)`` data plane is materialised as a matrix.
+    """
+    return _fast_compressed(
+        sp.csr_matrix, np.asarray(data), template.indices, template.indptr, template.shape
+    )
+
+
+def _pattern_keys(matrix: sp.csr_matrix) -> np.ndarray:
+    """Row-major linear positions of the nonzeros (sorted for canonical CSR)."""
+    return csr_rows(matrix).astype(np.int64) * matrix.shape[1] + matrix.indices
+
+
+def pattern_union(matrices: Sequence[sp.spmatrix]) -> Tuple[sp.csr_matrix, List[np.ndarray]]:
+    """Union sparsity pattern of same-shape matrices plus scatter positions.
+
+    Returns ``(template, positions)`` where ``template`` is a canonical CSR
+    matrix holding the union pattern (data zeroed) and ``positions[i]`` maps
+    matrix ``i``'s nonzeros onto template storage positions, so batched data
+    planes can be accumulated with ``out[:, positions[i]] += data_i``.
+    """
+    canon = [_canonical_csr(m) for m in matrices]
+    if not canon:
+        raise ValueError("pattern_union needs at least one matrix")
+    shape = canon[0].shape
+    if any(m.shape != shape for m in canon):
+        raise ValueError("pattern_union requires matrices of identical shape")
+    acc = None
+    for m in canon:
+        part = _fast_compressed(
+            sp.csr_matrix, np.ones(m.nnz), m.indices, m.indptr, shape
+        )
+        acc = part if acc is None else acc + part
+    template = _canonical_csr(acc)
+    if template is acc and len(canon) == 1:
+        template = acc.copy()
+    template.data = np.zeros(template.nnz)
+    template.has_canonical_format = True
+    keys = _pattern_keys(template)
+    positions = [
+        np.searchsorted(keys, _pattern_keys(m)).astype(np.intp) for m in canon
+    ]
+    return template, positions
+
+
+def transpose_plan(matrix: sp.spmatrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Data permutation realising the transpose of a fixed CSR pattern.
+
+    Returns ``(order, t_indptr, t_indices)`` such that for any data plane
+    ``D`` of shape ``(B, nnz)`` on ``matrix``'s pattern, ``D[:, order]`` is the
+    data of ``matrix.T`` in canonical CSR order with index arrays
+    ``(t_indptr, t_indices)``.
+    """
+    m = _canonical_csr(matrix)
+    coded = _fast_compressed(
+        sp.csr_matrix,
+        np.arange(1, m.nnz + 1, dtype=float),
+        m.indices,
+        m.indptr,
+        m.shape,
+    )
+    t = coded.T.tocsr()
+    t.sort_indices()
+    return t.data.astype(np.intp) - 1, t.indptr, t.indices
+
+
+def batched_row_sums(data: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row sums of a batched data plane: ``out[b, i] = Σ_k∈row(i) data[b, k]``.
+
+    ``data`` is ``(B, nnz)`` on a CSR pattern described by ``indptr``; empty
+    rows sum to zero.  Summation runs in storage order (matching scipy's CSR
+    reductions), keeping batched results bit-comparable with scalar ones.
+    """
+    data = np.asarray(data)
+    starts = np.asarray(indptr[:-1])
+    out = np.zeros((data.shape[0], starts.size), dtype=data.dtype)
+    valid = starts < np.asarray(indptr[1:])
+    if np.any(valid):
+        # reduceat over the non-empty starts only: consecutive filtered starts
+        # are exactly one stored row apart, so each segment is one row.
+        out[:, valid] = np.add.reduceat(data, starts[valid], axis=1)
+    return out
+
+
+def batched_matvec(
+    data: np.ndarray, indptr: np.ndarray, indices: np.ndarray, X: np.ndarray
+) -> np.ndarray:
+    """Per-slot CSR matvec ``Y[b] = A_b @ X[b]`` for a shared pattern.
+
+    ``data`` is the ``(B, nnz)`` plane of the per-slot matrices and ``X`` the
+    ``(B, n_cols)`` right-hand sides.
+    """
+    return batched_row_sums(data * X[:, indices], indptr)
+
+
+class MatmulPlan:
+    """Fixed-pattern batched sparse matrix product ``C_b = A_b @ B_b``.
+
+    Both factors keep a fixed sparsity pattern while their numeric data varies
+    per slot, so the product's pattern — and, for every stored output nonzero,
+    the set of ``(A_nnz, B_nnz)`` pairs contributing to it — is constant.  The
+    constructor expands that multiplication plan once (pair gather indices
+    grouped by output position); :meth:`multiply` replays it on ``(B, nnz)``
+    data planes as one multiply plus one grouped reduction.
+    """
+
+    def __init__(self, A: sp.spmatrix, B: sp.spmatrix):
+        A = _canonical_csr(A)
+        B = _canonical_csr(B)
+        if A.shape[1] != B.shape[0]:
+            raise ValueError("inner dimensions of the product do not match")
+        m, n = A.shape[0], B.shape[1]
+        counts = np.diff(B.indptr)
+        rep = counts[A.indices]
+        total = int(rep.sum())
+        left = np.repeat(np.arange(A.nnz, dtype=np.intp), rep)
+        pair_offsets = np.zeros(A.nnz, dtype=np.intp)
+        np.cumsum(rep[:-1], out=pair_offsets[1:])
+        right = (
+            np.arange(total, dtype=np.intp)
+            - np.repeat(pair_offsets, rep)
+            + np.repeat(B.indptr[A.indices].astype(np.intp), rep)
+        )
+        out_row = np.repeat(csr_rows(A), rep)
+        out_col = B.indices[right]
+        keys = out_row.astype(np.int64) * n + out_col
+        order = np.argsort(keys, kind="stable")
+        left, right, keys = left[order], right[order], keys[order]
+        fresh = np.ones(total, dtype=bool)
+        fresh[1:] = keys[1:] != keys[:-1]
+        self._left = left
+        self._right = right
+        self._group_starts = np.flatnonzero(fresh)
+        unique_keys = keys[self._group_starts]
+        rows = (unique_keys // n).astype(np.int64)
+        cols = (unique_keys % n).astype(np.int64)
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=m), out=indptr[1:])
+        template = sp.csr_matrix(
+            (np.zeros(unique_keys.size), cols, indptr), shape=(m, n)
+        )
+        template.has_canonical_format = True  # built sorted and duplicate-free
+        #: Canonical CSR pattern of the product (data zeroed, read-only).
+        self.template = template
+
+    def multiply(self, Adata: np.ndarray, Bdata: np.ndarray) -> np.ndarray:
+        """Product data planes: ``(B, nnz_A) × (B, nnz_B) → (B, nnz_C)``.
+
+        Either factor may be a ``(1, nnz)`` constant plane; broadcasting
+        across the batch axis is handled by NumPy.
+        """
+        Adata = np.atleast_2d(np.asarray(Adata))
+        Bdata = np.atleast_2d(np.asarray(Bdata))
+        n_out = self.template.nnz
+        batch = max(Adata.shape[0], Bdata.shape[0])
+        if self._left.size == 0:
+            dtype = np.result_type(Adata.dtype, Bdata.dtype)
+            return np.zeros((batch, n_out), dtype=dtype)
+        contrib = Adata[:, self._left] * Bdata[:, self._right]
+        return np.add.reduceat(contrib, self._group_starts, axis=1)

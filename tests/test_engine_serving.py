@@ -73,6 +73,24 @@ def test_engine_serve_scenarios(engine9, case9_fixture):
     assert not engine9._fleets
 
 
+def test_engine_serve_batch_execution_matches_scenario(trained_trainer9, case9_fixture):
+    """A batch-mode engine serves the same outcomes as a scenario-mode one."""
+    scenarios = generate_scenarios(case9_fixture, 6, variation=0.05, seed=13)
+    with pytest.raises(ValueError, match="execution"):
+        WarmStartEngine.from_trainer(trained_trainer9, execution="warp")
+    with WarmStartEngine.from_trainer(trained_trainer9) as engine_scenario, \
+            WarmStartEngine.from_trainer(trained_trainer9, execution="batch") as engine_batch:
+        assert engine_batch.execution == "batch"
+        sweep_scenario = engine_scenario.serve(scenarios)
+        sweep_batch = engine_batch.serve(scenarios)
+    assert sweep_batch.n_scenarios == sweep_scenario.n_scenarios
+    for a, b in zip(sweep_scenario.outcomes, sweep_batch.outcomes):
+        assert a.success == b.success
+        if a.success:
+            assert a.iterations == b.iterations
+            assert a.objective == pytest.approx(b.objective, rel=1e-8)
+
+
 def test_engine_serve_loads_matrix(engine9, case9_fixture):
     Pd = np.vstack([case9_fixture.bus.Pd, case9_fixture.bus.Pd * 1.02])
     Qd = np.vstack([case9_fixture.bus.Qd, case9_fixture.bus.Qd * 1.02])
