@@ -30,8 +30,12 @@ def test_bench_table3_direct_prediction(benchmark, frameworks):
         )
 
     for name, report in reports.items():
-        # SF is orders of magnitude above the end-to-end SU (Table III vs Fig. 4a).
-        assert report.speedup_factor > 20
+        # SF is far above the end-to-end SU (Table III vs Fig. 4a).  The MIPS
+        # reference times are the dataset's cold solve costs, which since the
+        # batch-mode default are additive lockstep shares — a several-times
+        # stronger (cheaper) cold baseline than the per-scenario loop, so the
+        # floor sits lower than the paper's scalar-reference SF.
+        assert report.speedup_factor > 8
         # The direct answer is close to, but not exactly, the optimum.
         assert report.cost_loss_pct < 20.0
         # And it is not exactly feasible — the reason the paper refines it with MIPS.

@@ -40,6 +40,7 @@ from repro.mtl.separate import SeparateTaskNetworks
 from repro.mtl.trainer import MTLTrainer, TrainingHistory
 from repro.opf.model import OPFModel
 from repro.opf.solver import OPFOptions
+from repro.parallel.pool import EXECUTION_MODES
 from repro.utils.logging import get_logger
 
 __all__ = [
@@ -71,6 +72,13 @@ class SmartPGSimConfig:
     fallback: str = "cold_restart"
     #: Solver workers used for ground-truth generation and online dispatch.
     n_workers: int = 1
+    #: Solver execution mode used for *both* ground-truth generation and
+    #: online serving: ``"batch"`` (lockstep batched MIPS, the default) or
+    #: ``"scenario"`` (one solve at a time).  Using one mode on both sides
+    #: keeps the Fig. 4 warm-vs-cold ratios apples-to-apples: each side's
+    #: per-problem cost is the additive lockstep wall share (see
+    #: :func:`repro.data.dataset.generate_dataset`).
+    execution: str = "batch"
 
     def __post_init__(self) -> None:
         if self.model_type not in ("mtl", "separate"):
@@ -81,6 +89,8 @@ class SmartPGSimConfig:
             raise ValueError("train_fraction must be in (0, 1)")
         if self.n_workers < 1:
             raise ValueError("n_workers must be positive")
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(f"execution must be one of {EXECUTION_MODES}")
         get_fallback_policy(self.fallback)  # validate eagerly
 
 
@@ -121,6 +131,7 @@ class SmartPGSim:
                 options=cfg.opf,
                 model=self.opf_model,
                 n_workers=cfg.n_workers,
+                execution=cfg.execution,
             )
         dataset_seconds = time.perf_counter() - t0
 
@@ -156,7 +167,7 @@ class SmartPGSim:
         if self._engine is not None:  # retraining: shut the old fleets down first
             self._engine.close()
         self._engine = WarmStartEngine.from_trainer(
-            trainer, opf_options=cfg.opf, fallback=cfg.fallback
+            trainer, opf_options=cfg.opf, fallback=cfg.fallback, execution=cfg.execution
         )
         LOGGER.info(
             "%s offline done: %d samples, dataset %.1fs, training %.1fs",

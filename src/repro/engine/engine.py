@@ -23,6 +23,7 @@ orchestrator over this class.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -63,12 +64,22 @@ class WarmStartEngine:
         fallback: Union[str, FallbackPolicy, None] = "cold_restart",
         opf_model: Optional[OPFModel] = None,
         execution: str = "scenario",
+        kkt_solver: Optional[str] = None,
     ):
         self.case = case
         self.network = network
         self.normalizer = normalizer
         self.config = config or getattr(network, "config", MTLConfig())
         self.opf_options = opf_options or OPFOptions()
+        if kkt_solver is not None:
+            # Convenience override so deployments can pick the KKT backend
+            # (e.g. "blockdiag" for lockstep batch serving) without rebuilding
+            # the whole (frozen) option tree by hand.
+            self.opf_options = replace(
+                self.opf_options,
+                mips=replace(self.opf_options.mips, kkt_solver=kkt_solver),
+            )
+            self.opf_options.mips.validate()
         self.fallback = get_fallback_policy(fallback)
         self.opf_model = opf_model or OPFModel(case, flow_limits=self.opf_options.flow_limits)
         if execution not in EXECUTION_MODES:
@@ -88,6 +99,7 @@ class WarmStartEngine:
         opf_options: Optional[OPFOptions] = None,
         fallback: Union[str, FallbackPolicy, None] = "cold_restart",
         execution: str = "scenario",
+        kkt_solver: Optional[str] = None,
     ) -> "WarmStartEngine":
         """Build an engine that shares a trained :class:`MTLTrainer`'s state."""
         return cls(
@@ -99,6 +111,7 @@ class WarmStartEngine:
             fallback=fallback,
             opf_model=trainer.opf_model,
             execution=execution,
+            kkt_solver=kkt_solver,
         )
 
     # ---------------------------------------------------------------- inference

@@ -1,6 +1,8 @@
 """MIPS primal-dual interior-point solver (warm-startable)."""
 
 from repro.mips.linsolve import (
+    BlockDiagSolver,
+    BlockSolveReport,
     FactorizedSolver,
     KKTSolveError,
     KKTSolver,
@@ -25,6 +27,8 @@ __all__ = [
     "qps_mips",
     "KKTSolver",
     "KKTSolveError",
+    "BlockDiagSolver",
+    "BlockSolveReport",
     "FactorizedSolver",
     "SpsolveSolver",
     "available_kkt_solvers",

@@ -6,9 +6,16 @@ starts.  Solving them one at a time leaves most of the per-iteration time in
 small-matrix NumPy/SciPy call overhead.  :func:`mips_batch` instead advances a
 whole batch in lockstep: primal/dual state is held as ``(B, ·)`` matrices, the
 callback evaluation, constraint stacking, Lagrangian gradient, step-length /
-centering and convergence math are vectorised across the batch axis, and only
-the inherently per-scenario work — KKT assembly, factorisation and
-back-substitution — runs in a loop over the *active* scenarios.
+centering and convergence math are vectorised across the batch axis.  The
+linear algebra itself comes in two flavours, selected by
+``MIPSOptions.kkt_solver``: per-slot backends (``"factorized"``, the default,
+and ``"spsolve"``) assemble, factorise and back-substitute each active
+scenario's KKT system in a loop, while the ``"blockdiag"`` backend assembles
+all active systems at once through plan-based batched kernels
+(:class:`_BatchKKTAssembler`) and solves them with **one** block-diagonal
+factorisation and **one** stacked backsolve per iteration
+(:class:`~repro.mips.linsolve.BlockDiagSolver`) — bit-identical per scenario
+to the per-slot path, so the two stay interchangeable.
 
 Scenarios retire individually: a converged (or numerically failed) scenario
 drops out of the active set immediately, so stragglers never pay for
@@ -20,8 +27,13 @@ two agree scenario-by-scenario.
 Phase-timing attribution is honest but necessarily shared for the vectorised
 phases: batched evaluation time is split evenly across the scenarios that
 participated in the evaluation, while assembly / factorisation / backsolve are
-measured per slot.  Each scenario's ``elapsed_seconds`` is the lockstep wall
-time until its retirement.
+measured per slot on the per-slot backends and split evenly (like evaluation)
+when a block backend solves the whole active set at once.  Each scenario's
+``elapsed_seconds`` is the lockstep wall time until its retirement, and
+``wall_share_seconds`` is its *additive* share of that wall (every
+iteration's wall time divided over the scenarios active in it) — the number
+that stays comparable with scalar per-solve times.  The scalar refinement
+option ``kkt_refine_steps`` does not apply to lockstep solves.
 
 The batched callbacks exchange Jacobian/Hessian *data planes* — ``(B, nnz)``
 arrays on fixed sparsity templates (see :mod:`repro.opf.batch` for the AC-OPF
@@ -52,9 +64,13 @@ from repro.mips.result import IterationRecord, MIPSResult
 from repro.mips.solver import _BoundHandler, _KKTAssembler
 from repro.utils.logging import get_logger
 from repro.utils.sparse import (
+    CachedBmat,
+    MatmulPlan,
     batched_matvec,
     batched_row_sums,
     csr_from_template,
+    csr_rows,
+    pattern_union,
     transpose_plan,
 )
 
@@ -99,6 +115,136 @@ def _warm_rows(
         if mask.shape != (batch,):
             raise ValueError(f"{name} mask must have shape ({batch},)")
     return values, mask
+
+
+class _BatchKKTAssembler:
+    """Batched assembly of all active scenarios' KKT systems, bit-for-bit.
+
+    The batch counterpart of :class:`~repro.mips.solver._KKTAssembler`: every
+    sparsity pattern entering the Newton system — the stacked constraint
+    Jacobians (nonlinear blocks over the constant bound-selector rows), their
+    transposes, the structural ``JhᵀD Jh`` product and the final
+    ``[[M, Jgᵀ], [Jg, 0]]`` layout — is fixed for the whole batch solve, so
+    the symbolic work is expanded once into gather/reduce plans
+    (:class:`~repro.utils.sparse.MatmulPlan`,
+    :func:`~repro.utils.sparse.transpose_plan`,
+    :meth:`~repro.utils.sparse.CachedBmat.assemble_batch`) and each iteration
+    replays them as pure NumPy operations over ``(B, nnz)`` data planes.
+
+    The scalar assembler evaluates the *same* plans on one-row planes, and
+    every replayed operation reduces each plane row independently, so the
+    produced KKT data is **bit-identical** to the per-slot path's — the plane
+    holds, per active scenario, exactly the CSC data of the per-slot
+    assembler's KKT matrix, ready for
+    :meth:`~repro.mips.linsolve.BlockDiagSolver.solve_blocks`.
+    """
+
+    def __init__(
+        self,
+        jg_t: sp.csr_matrix,
+        jh_t: sp.csr_matrix,
+        hess_t: sp.csr_matrix,
+        bounds: _BoundHandler,
+    ) -> None:
+        E_eq, E_ub, E_lb = bounds.bound_selectors
+        nx = hess_t.shape[0]
+        self._nx = nx
+
+        self._jg_cache = CachedBmat("csr")
+        jg_stack = self._jg_cache.assemble([[jg_t], [E_eq]])
+        self._jh_cache = CachedBmat("csr")
+        jh_stack = self._jh_cache.assemble([[jh_t], [E_ub], [E_lb]])
+        self._eq_data = E_eq.data
+        self._ub_data = E_ub.data
+        self._lb_data = E_lb.data
+        self.neq = jg_stack.shape[0]
+        self.niq = jh_stack.shape[0]
+
+        if self.niq:
+            self._jh_rows = csr_rows(jh_stack)
+            order, t_indptr, t_indices = transpose_plan(jh_stack)
+            self._jhT_order = order
+            self._jhT_indptr = t_indptr
+            self._jhT_indices = t_indices
+            jhT = sp.csr_matrix(
+                (np.zeros(jh_stack.nnz), t_indices, t_indptr), shape=(nx, self.niq)
+            )
+            jhT.has_canonical_format = True
+            self._matmul = MatmulPlan(jhT, jh_stack)
+            m_template, (self._pos_hess, self._pos_prod) = pattern_union(
+                [hess_t, self._matmul.template]
+            )
+        else:
+            m_template = hess_t
+            self._pos_hess = self._pos_prod = None
+
+        self._m_nnz = m_template.nnz
+        self._kkt_cache = CachedBmat("csc")
+        if self.neq:
+            order, _, _ = transpose_plan(jg_stack)
+            self._jgT_order = order
+            jgT = sp.csr_matrix(jg_stack.T)
+            jgT.sort_indices()
+            jgT.data = np.zeros(jgT.nnz)
+            self._kkt_cache.assemble([[m_template, jgT], [jg_stack, None]])
+        else:
+            self._kkt_cache.assemble([[m_template]])
+        #: Canonical CSC pattern of one scenario's KKT system (read-only).
+        self.kkt_template = self._kkt_cache.template
+
+    def build(
+        self,
+        Hdata: np.ndarray,
+        Jg_data: np.ndarray,
+        Jh_data: np.ndarray,
+        Lx: np.ndarray,
+        G: np.ndarray,
+        H: np.ndarray,
+        Z: np.ndarray,
+        Mu: np.ndarray,
+        Gamma: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """KKT data planes and right-hand sides for the active scenarios.
+
+        All inputs are ``(B, ·)`` slices over the active set; returns
+        ``(kkt_plane, rhs_plane)`` with ``kkt_plane`` in
+        :attr:`kkt_template`'s storage order.
+        """
+        Hdata = np.atleast_2d(np.asarray(Hdata, dtype=float))
+        batch = Hdata.shape[0]
+        if self.niq:
+            jh_plane = self._jh_cache.assemble_batch(
+                [
+                    Jh_data,
+                    np.broadcast_to(self._ub_data, (batch, self._ub_data.size)),
+                    np.broadcast_to(self._lb_data, (batch, self._lb_data.size)),
+                ]
+            )
+            zinv = 1.0 / Z
+            jh_scaled = jh_plane * (Mu * zinv)[:, self._jh_rows]
+            jhT_plane = jh_plane[:, self._jhT_order]
+            prod = self._matmul.multiply(jhT_plane, jh_scaled)
+            m_plane = np.zeros((batch, self._m_nnz))
+            m_plane[:, self._pos_hess] += Hdata
+            m_plane[:, self._pos_prod] += prod
+            vec = (Mu * H + Gamma[:, None]) * zinv
+            N = Lx + batched_matvec(jhT_plane, self._jhT_indptr, self._jhT_indices, vec)
+        else:
+            m_plane = Hdata
+            N = Lx.copy()
+
+        if self.neq:
+            jg_plane = self._jg_cache.assemble_batch(
+                [Jg_data, np.broadcast_to(self._eq_data, (batch, self._eq_data.size))]
+            )
+            kkt_plane = self._kkt_cache.assemble_batch(
+                [m_plane, jg_plane[:, self._jgT_order], jg_plane]
+            )
+            rhs_plane = np.concatenate([-N, -G], axis=1)
+        else:
+            kkt_plane = self._kkt_cache.assemble_batch([m_plane])
+            rhs_plane = -N
+        return kkt_plane, rhs_plane
 
 
 def mips_batch(
@@ -164,12 +310,27 @@ def mips_batch(
     jgT_order, jgT_indptr, jgT_indices = transpose_plan(jg_t)
     jhT_order, jhT_indptr, jhT_indices = transpose_plan(jh_t)
 
-    solvers = [
-        make_kkt_solver(
-            opt.kkt_solver, regularization=opt.kkt_reg, max_retries=opt.kkt_max_retries
-        )
-        for _ in range(batch)
-    ]
+    # One solver per slot for per-slot backends; backends that support whole
+    # block iterations (``blockdiag``) get a single shared instance plus the
+    # plan-based batched assembler, removing the per-slot assemble/factor/
+    # backsolve loop entirely.
+    proto_solver = make_kkt_solver(
+        opt.kkt_solver, regularization=opt.kkt_reg, max_retries=opt.kkt_max_retries
+    )
+    use_blocks = bool(getattr(proto_solver, "supports_blocks", False))
+    if use_blocks:
+        block_solver = proto_solver
+        solvers = []
+        batch_assembler = _BatchKKTAssembler(jg_t, jh_t, hess_t, bounds)
+    else:
+        block_solver = None
+        batch_assembler = None
+        solvers = [proto_solver] + [
+            make_kkt_solver(
+                opt.kkt_solver, regularization=opt.kkt_reg, max_retries=opt.kkt_max_retries
+            )
+            for _ in range(batch - 1)
+        ]
     assembler = _KKTAssembler()
 
     # ------------------------------------------------------------- batch state
@@ -199,6 +360,12 @@ def mips_batch(
     histories: List[List[IterationRecord]] = [[] for _ in range(batch)]
     results: List[Optional[MIPSResult]] = [None] * batch
     active = np.ones(batch, dtype=bool)
+    #: Accepted singular-KKT recoveries per scenario (both solver modes).
+    reg_counts = np.zeros(batch, dtype=int)
+    #: Additive wall share per scenario: every iteration's wall time is split
+    #: evenly over the scenarios active in it, so shares sum to the lockstep
+    #: wall and stay comparable with scalar per-solve times.
+    share = np.zeros(batch)
 
     def evaluate(idx: np.ndarray) -> float:
         """Evaluate objective + constraints for rows ``idx``; returns wall time."""
@@ -262,12 +429,12 @@ def mips_batch(
 
     def finalize(b: int, message: str, converged: bool) -> None:
         active[b] = False
-        if solvers[b].regularizations:
+        if reg_counts[b]:
             LOGGER.warning(
                 "scenario %d: KKT system was singular %d time(s); recovered with "
                 "diagonal regularisation",
                 b,
-                solvers[b].regularizations,
+                reg_counts[b],
             )
         results[b] = MIPSResult(
             x=X[b].copy(),
@@ -282,7 +449,8 @@ def mips_batch(
             history=histories[b],
             elapsed_seconds=time.perf_counter() - start_time,
             phase_seconds={name: float(phase[name][b]) for name in _PHASES},
-            kkt_regularizations=solvers[b].regularizations,
+            kkt_regularizations=int(reg_counts[b]),
+            wall_share_seconds=float(share[b]),
         )
 
     # ----------------------------------------------------------------- entry
@@ -335,6 +503,7 @@ def mips_batch(
                 )
             )
 
+    share += (time.perf_counter() - start_time) / batch
     for b in np.flatnonzero((conds < tols).all(axis=1)):
         finalize(int(b), "converged", True)
 
@@ -345,6 +514,15 @@ def mips_batch(
         idx = np.flatnonzero(active)
         iterations[idx] = it
         na = idx.size
+        t_iter = time.perf_counter()
+        #: Failures detected during this iteration; finalised after the wall
+        #: share of the iteration has been credited to every active scenario.
+        pending: List[Tuple[int, str]] = []
+
+        def close_iteration() -> None:
+            share[idx] += (time.perf_counter() - t_iter) / na
+            for b, msg in pending:
+                finalize(b, msg, False)
 
         # ------------------------------------------------- batched Hessian eval
         t0 = time.perf_counter()
@@ -363,45 +541,88 @@ def mips_batch(
         it_fac = np.zeros(batch)
         it_back = np.zeros(batch)
 
-        # ---------------------------------- per-slot assembly + factor + solve
+        # ------------------------- assembly + factor + solve (block or per-slot)
         DX = np.zeros((batch, nx))
         Dlam = np.zeros((batch, neq))
         survivors: List[int] = []
-        for p, b in enumerate(idx):
-            t0 = time.perf_counter()
-            Lxx = csr_from_template(hess_t, Hdata[p])
-            Jg_b, Jh_b = bounds.stack_jacobians(
-                csr_from_template(jg_t, Jg_data[b]), csr_from_template(jh_t, Jh_data[b])
-            )
-            kkt, rhs = assembler.build(
-                Lxx, Jg_b, Jh_b, Lx[b], G[b], H[b], z[b], mu[b], gamma[b]
-            )
-            asm_dt = time.perf_counter() - t0
-            phase["assembly"][b] += asm_dt
-            it_asm[b] = asm_dt
-            try:
-                sol = solvers[b].solve(kkt, rhs)
-            except KKTSolveError:
-                phase["factorization"][b] += solvers[b].factor_seconds
-                finalize(int(b), "numerically failed (singular KKT system)", False)
-                continue
-            phase["factorization"][b] += solvers[b].factor_seconds
-            phase["backsolve"][b] += solvers[b].backsolve_seconds
-            it_fac[b] = solvers[b].factor_seconds
-            it_back[b] = solvers[b].backsolve_seconds
+
+        def accept_step(b: int, sol: np.ndarray) -> None:
+            """Newton-step sanity checks shared by both solver modes."""
             if not np.all(np.isfinite(sol)):
-                finalize(int(b), "numerically failed (non-finite Newton step)", False)
-                continue
+                pending.append((int(b), "numerically failed (non-finite Newton step)"))
+                return
             dx = sol[:nx]
             if float(np.max(np.abs(dx))) > opt.max_stepsize:
-                finalize(int(b), "numerically failed (step size exploded)", False)
-                continue
+                pending.append((int(b), "numerically failed (step size exploded)"))
+                return
             DX[b] = dx
             if neq:
                 Dlam[b] = sol[nx:]
             survivors.append(int(b))
 
+        if use_blocks:
+            # One batched assembly + one block-diagonal factorisation + one
+            # stacked backsolve for all active scenarios.  The shared phases
+            # are split evenly across the active set, like the batched
+            # evaluation phases.
+            t0 = time.perf_counter()
+            kkt_plane, rhs_plane = batch_assembler.build(
+                Hdata, Jg_data[idx], Jh_data[idx], Lx[idx], G[idx], H[idx],
+                z[idx], mu[idx], gamma[idx],
+            )
+            asm_dt = (time.perf_counter() - t0) / na
+            phase["assembly"][idx] += asm_dt
+            it_asm[idx] = asm_dt
+            try:
+                report = block_solver.solve_blocks(
+                    batch_assembler.kkt_template, kkt_plane, rhs_plane
+                )
+            except KKTSolveError:
+                phase["factorization"][idx] += block_solver.factor_seconds / na
+                for b in idx:
+                    pending.append((int(b), "numerically failed (singular KKT system)"))
+                close_iteration()
+                continue
+            phase["factorization"][idx] += block_solver.factor_seconds / na
+            phase["backsolve"][idx] += block_solver.backsolve_seconds / na
+            it_fac[idx] = block_solver.factor_seconds / na
+            it_back[idx] = block_solver.backsolve_seconds / na
+            reg_counts[idx] += report.regularizations
+            failed = set(report.failed)
+            for p, b in enumerate(idx):
+                if p in failed:
+                    pending.append((int(b), "numerically failed (singular KKT system)"))
+                    continue
+                accept_step(int(b), report.solutions[p])
+        else:
+            for p, b in enumerate(idx):
+                t0 = time.perf_counter()
+                Lxx = csr_from_template(hess_t, Hdata[p])
+                Jg_b, Jh_b = bounds.stack_jacobians(
+                    csr_from_template(jg_t, Jg_data[b]), csr_from_template(jh_t, Jh_data[b])
+                )
+                kkt, rhs = assembler.build(
+                    Lxx, Jg_b, Jh_b, Lx[b], G[b], H[b], z[b], mu[b], gamma[b]
+                )
+                asm_dt = time.perf_counter() - t0
+                phase["assembly"][b] += asm_dt
+                it_asm[b] = asm_dt
+                try:
+                    sol = solvers[b].solve(kkt, rhs)
+                except KKTSolveError:
+                    phase["factorization"][b] += solvers[b].factor_seconds
+                    reg_counts[b] = solvers[b].regularizations
+                    pending.append((int(b), "numerically failed (singular KKT system)"))
+                    continue
+                phase["factorization"][b] += solvers[b].factor_seconds
+                phase["backsolve"][b] += solvers[b].backsolve_seconds
+                it_fac[b] = solvers[b].factor_seconds
+                it_back[b] = solvers[b].backsolve_seconds
+                reg_counts[b] = solvers[b].regularizations
+                accept_step(int(b), sol)
+
         if not survivors:
+            close_iteration()
             continue
         s = np.asarray(survivors)
         DXs = DX[s]
@@ -480,6 +701,7 @@ def mips_batch(
                 conds[s, 3].max(),
             )
 
+        close_iteration()
         converged_now = (conds[s] < tols).all(axis=1)
         nonfinite = ~np.isfinite(X[s]).all(axis=1)
         diverged = np.abs(X[s]).max(axis=1) > opt.max_stepsize

@@ -20,6 +20,20 @@ swapped via :class:`~repro.mips.options.MIPSOptions`:
   regularisation, and reports factor / back-substitution times separately.
 * :class:`SpsolveSolver` — the seed behaviour, kept as a fallback backend and
   as the reference path for the KKT micro-benchmark.
+* :class:`BlockDiagSolver` — the lockstep-batch backend.  The batched MIPS
+  loop hands it the ``B`` active scenarios' same-pattern KKT systems as one
+  ``(B, nnz)`` data plane; the backend assembles them into a single
+  block-diagonal matrix and performs **one** supernodal ``splu`` factorisation
+  plus **one** stacked backsolve per iteration.  The per-block column
+  permutation is computed once and replicated, so each block's numerics are
+  bit-identical to a per-slot :class:`FactorizedSolver` solve — backends stay
+  drop-in swappable.
+
+Every backend also exposes :meth:`KKTSolver.solve_many`, the multi-RHS
+backsolve path: several right-hand sides against one matrix share a single
+factorisation, and :meth:`KKTSolver.resolve` re-solves against the most
+recent factorisation (the hook iterative refinement and predictor/corrector
+schemes need).
 
 Custom backends can be registered with :func:`register_kkt_solver`.
 """
@@ -28,19 +42,21 @@ from __future__ import annotations
 
 import inspect
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro.utils.sparse import same_pattern
+from repro.utils.sparse import BlockDiagPlan, csc_from_template, same_pattern
 
 __all__ = [
     "KKTSolveError",
     "KKTSolver",
     "SpsolveSolver",
     "FactorizedSolver",
+    "BlockDiagSolver",
+    "BlockSolveReport",
     "available_kkt_solvers",
     "make_kkt_solver",
     "register_kkt_solver",
@@ -74,6 +90,39 @@ class KKTSolver:
     def solve(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
         """Solve ``kkt @ x = rhs``; raise :class:`KKTSolveError` on failure."""
         raise NotImplementedError
+
+    def solve_many(self, kkt: sp.spmatrix, rhs_block: np.ndarray) -> np.ndarray:
+        """Solve ``kkt @ X = rhs_block`` for an ``(n, k)`` block of right-hand sides.
+
+        All ``k`` systems share one matrix, so backends that factorise should
+        factor **once** and back-substitute the whole block (predictor and
+        corrector systems of one interior-point iteration are the canonical
+        use).  The base implementation loops over columns — correct for any
+        backend — and aggregates the per-call timings.
+        """
+        rhs_block = np.asarray(rhs_block, dtype=float)
+        if rhs_block.ndim == 1:
+            rhs_block = rhs_block[:, None]
+        factor = backsolve = 0.0
+        cols = []
+        for j in range(rhs_block.shape[1]):
+            cols.append(self.solve(kkt, rhs_block[:, j]))
+            factor += self.factor_seconds
+            backsolve += self.backsolve_seconds
+        self.factor_seconds = factor
+        self.backsolve_seconds = backsolve
+        return np.stack(cols, axis=1)
+
+    def resolve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve another right-hand side against the most recent factorisation.
+
+        Backends that retain their factorisation answer from it (one extra
+        back-substitution); the base implementation raises — callers fall back
+        to a fresh :meth:`solve` when the backend cannot resolve.  Used by the
+        scalar solver's iterative-refinement option
+        (``MIPSOptions.kkt_refine_steps``).
+        """
+        raise KKTSolveError(f"backend {self.name!r} retains no factorisation to resolve against")
 
 
 class SpsolveSolver(KKTSolver):
@@ -148,6 +197,8 @@ class FactorizedSolver(KKTSolver):
         self._permuted: Optional[sp.csc_matrix] = None
         self._data_order: Optional[np.ndarray] = None
         self._identity: Optional[sp.csc_matrix] = None
+        self._last_lu = None
+        self._last_perm: Optional[np.ndarray] = None
         #: Factorisations that reused the cached column permutation.
         self.symbolic_reuses = 0
 
@@ -195,6 +246,29 @@ class FactorizedSolver(KKTSolver):
         return lu, None
 
     def solve(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+        return self._solve_rhs(kkt, np.asarray(rhs, dtype=float))
+
+    def solve_many(self, kkt: sp.spmatrix, rhs_block: np.ndarray) -> np.ndarray:
+        """Multi-RHS fast path: one factorisation, one block back-substitution."""
+        rhs_block = np.asarray(rhs_block, dtype=float)
+        if rhs_block.ndim == 1:
+            rhs_block = rhs_block[:, None]
+        return self._solve_rhs(kkt, rhs_block)
+
+    def resolve(self, rhs: np.ndarray) -> np.ndarray:
+        """One extra back-substitution against the most recent factorisation."""
+        if self._last_lu is None:
+            raise KKTSolveError("no factorisation available to resolve against")
+        start = time.perf_counter()
+        sol = self._last_lu.solve(np.asarray(rhs, dtype=float))
+        if self._last_perm is not None:
+            unpermuted = np.empty_like(sol)
+            unpermuted[self._last_perm] = sol
+            sol = unpermuted
+        self.backsolve_seconds += time.perf_counter() - start
+        return np.asarray(sol, dtype=float)
+
+    def _solve_rhs(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
         kkt = sp.csc_matrix(kkt)
         kkt.sort_indices()
         start = time.perf_counter()
@@ -216,6 +290,8 @@ class FactorizedSolver(KKTSolver):
                 raise KKTSolveError(f"KKT factorisation failed: {exc}") from exc
         finally:
             self.factor_seconds = time.perf_counter() - start
+        self._last_lu = lu
+        self._last_perm = perm
 
         start = time.perf_counter()
         sol = lu.solve(rhs)
@@ -267,10 +343,295 @@ class FactorizedSolver(KKTSolver):
         ) from last_error
 
 
+class BlockSolveReport:
+    """Outcome of one :meth:`BlockDiagSolver.solve_blocks` call.
+
+    ``solutions`` holds one row per block (rows of failed blocks are NaN),
+    ``failed`` lists the block indices whose system stayed unsolvable after
+    regularisation, and ``regularizations`` counts the diagonal-shift
+    recoveries performed for each block in this call.
+    """
+
+    __slots__ = ("solutions", "failed", "regularizations")
+
+    def __init__(self, solutions: np.ndarray, failed: List[int], regularizations: np.ndarray):
+        self.solutions = solutions
+        self.failed = failed
+        self.regularizations = regularizations
+
+
+class BlockDiagSolver(KKTSolver):
+    """Batched backend: one block-diagonal factorisation for ``B`` same-pattern systems.
+
+    The lockstep batch solver produces, per iteration, the ``B`` active
+    scenarios' KKT systems as one fixed CSC pattern plus a ``(B, nnz)`` data
+    plane.  :meth:`solve_blocks` assembles them into a single block-diagonal
+    matrix (index plan cached per active-set size) and performs one supernodal
+    ``splu`` factorisation and one stacked backsolve — the per-slot
+    factorise/backsolve loop disappears.
+
+    **Numerical parity.**  The backend reproduces a per-slot
+    :class:`FactorizedSolver` **bit for bit**.  The first call for a pattern
+    solves each block individually through a scratch :class:`FactorizedSolver`
+    (exactly the per-slot first-iteration semantics: a direct ``splu`` whose
+    effective column order includes SuperLU's elimination-tree postorder) and
+    harvests the cached column permutation.  Every later call replicates that
+    permutation across the diagonal and factorises the big matrix under the
+    ``NATURAL`` ordering — elimination then proceeds block by block in exactly
+    the order the per-slot cached-permutation path uses, and SuperLU's row
+    pivoting cannot cross structurally-empty off-diagonal blocks, so each
+    block's solution is bit-identical to the per-slot path; iteration counts
+    and objectives match exactly, which the cross-backend parity suite
+    asserts.
+
+    **Singular blocks.**  A singular block poisons the shared factorisation,
+    so on failure the call degrades to per-block solves for this iteration:
+    healthy blocks are factorised individually under the same cached
+    permutation (still bit-identical) while singular blocks get the escalating
+    diagonal-shift retry with the unshifted-residual acceptance check —
+    neighbours of a regularised block are unaffected down to the last bit.
+
+    Used as a scalar :class:`KKTSolver` (the ``mips()`` path), it behaves
+    exactly like :class:`FactorizedSolver` via delegation, so
+    ``kkt_solver="blockdiag"`` is safe to select globally.
+    """
+
+    name = "blockdiag"
+    #: The batched MIPS loop checks this to route whole iterations here.
+    supports_blocks = True
+
+    def __init__(
+        self,
+        regularization: float = 1e-8,
+        reg_growth: float = 100.0,
+        max_retries: int = 3,
+        residual_tol: float = 1e-6,
+    ) -> None:
+        super().__init__()
+        self._scalar = FactorizedSolver(
+            regularization=regularization,
+            reg_growth=reg_growth,
+            max_retries=max_retries,
+            residual_tol=residual_tol,
+        )
+        self.regularization = regularization
+        self.reg_growth = reg_growth
+        self.max_retries = max_retries
+        self.residual_tol = residual_tol
+        self._pattern_key: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._perm: Optional[np.ndarray] = None
+        self._order: Optional[np.ndarray] = None
+        self._perm_indptr: Optional[np.ndarray] = None
+        self._perm_indices: Optional[np.ndarray] = None
+        self._plans: Dict[int, BlockDiagPlan] = {}
+        #: Big-matrix factorisations performed (one per lockstep iteration).
+        self.block_factorizations = 0
+        #: Iterations that fell back to per-block solves (singular block present).
+        self.block_fallbacks = 0
+
+    # ----------------------------------------------------------- scalar interface
+    def _mirror_scalar(self) -> None:
+        self.factor_seconds = self._scalar.factor_seconds
+        self.backsolve_seconds = self._scalar.backsolve_seconds
+        self.regularizations = self._scalar.regularizations
+
+    def solve(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+        try:
+            return self._scalar.solve(kkt, rhs)
+        finally:
+            self._mirror_scalar()
+
+    def solve_many(self, kkt: sp.spmatrix, rhs_block: np.ndarray) -> np.ndarray:
+        try:
+            return self._scalar.solve_many(kkt, rhs_block)
+        finally:
+            self._mirror_scalar()
+
+    def resolve(self, rhs: np.ndarray) -> np.ndarray:
+        try:
+            return self._scalar.resolve(rhs)
+        finally:
+            self._mirror_scalar()
+
+    # ------------------------------------------------------------ block interface
+    def _make_slot_solver(self) -> FactorizedSolver:
+        return FactorizedSolver(
+            regularization=self.regularization,
+            reg_growth=self.reg_growth,
+            max_retries=self.max_retries,
+            residual_tol=self.residual_tol,
+        )
+
+    def _first_call_blocks(
+        self,
+        template: sp.csc_matrix,
+        data_plane: np.ndarray,
+        rhs_plane: np.ndarray,
+        solutions: np.ndarray,
+        regs: np.ndarray,
+        failed: List[int],
+    ) -> None:
+        """First iteration for a pattern: per-block direct ``splu`` solves.
+
+        A direct ``splu`` composes an elimination-tree postorder into its
+        effective column order, which the permute-then-``NATURAL`` replay does
+        not reproduce — so to stay bit-identical to a per-slot
+        :class:`FactorizedSolver` (whose first call *is* a direct ``splu``)
+        the first iteration runs the exact same per-block path, and the block
+        factorisation takes over from the second iteration on, using the
+        column permutation cached here.
+        """
+        factor = backsolve = 0.0
+        for b in range(data_plane.shape[0]):
+            slot = self._make_slot_solver()
+            try:
+                solutions[b] = slot.solve(
+                    csc_from_template(template, data_plane[b]), rhs_plane[b]
+                )
+                regs[b] += slot.regularizations
+                self.regularizations += slot.regularizations
+            except KKTSolveError:
+                solutions[b] = np.nan
+                failed.append(b)
+            factor += slot.factor_seconds
+            backsolve += slot.backsolve_seconds
+            if self._perm is None and slot._perm_c is not None:
+                # Harvest the pattern cache of the first cleanly factorised
+                # block: identical formula to FactorizedSolver._cache_pattern,
+                # so the NATURAL replay matches the per-slot one bit for bit.
+                self._perm = slot._perm_c
+                self._order = slot._data_order
+                self._perm_indptr = slot._permuted.indptr
+                self._perm_indices = slot._permuted.indices
+        self.factor_seconds = factor
+        self.backsolve_seconds = backsolve
+
+    def _plan_for(self, blocks: int, n: int) -> BlockDiagPlan:
+        plan = self._plans.get(blocks)
+        if plan is None:
+            plan = BlockDiagPlan(
+                self._perm_indptr, self._perm_indices, (n, n), blocks, format="csc"
+            )
+            self._plans[blocks] = plan
+        return plan
+
+    def _solve_block_fallback(
+        self,
+        template: sp.csc_matrix,
+        data_plane: np.ndarray,
+        rhs_plane: np.ndarray,
+        solutions: np.ndarray,
+        regs: np.ndarray,
+        failed: List[int],
+    ) -> None:
+        """Per-block degradation for iterations with a singular block.
+
+        Every block runs through a scratch :class:`FactorizedSolver` whose
+        pattern cache is pre-seeded with the shared column permutation, so
+        each block follows *exactly* the per-slot code path: healthy blocks
+        factorise under the cached ``NATURAL`` replay (bit-identical to what
+        the big factorisation would have produced), singular blocks get the
+        escalating diagonal-shift retry with the unshifted-residual check —
+        and neighbours of a regularised block are unaffected down to the last
+        bit.
+        """
+        n = template.shape[0]
+        for b in range(data_plane.shape[0]):
+            slot = self._make_slot_solver()
+            slot._indptr = template.indptr
+            slot._indices = template.indices
+            slot._perm_c = self._perm
+            slot._data_order = self._order
+            slot._permuted = sp.csc_matrix(
+                (np.empty(template.nnz), self._perm_indices, self._perm_indptr),
+                shape=(n, n),
+            )
+            try:
+                solutions[b] = slot.solve(
+                    csc_from_template(template, data_plane[b]), rhs_plane[b]
+                )
+                regs[b] += slot.regularizations
+                self.regularizations += slot.regularizations
+            except KKTSolveError:
+                solutions[b] = np.nan
+                failed.append(b)
+
+    def solve_blocks(
+        self,
+        template: sp.csc_matrix,
+        data_plane: np.ndarray,
+        rhs_plane: np.ndarray,
+    ) -> BlockSolveReport:
+        """Solve ``B`` same-pattern systems with one block-diagonal factorisation.
+
+        ``template`` carries the shared CSC pattern, ``data_plane`` is the
+        ``(B, nnz)`` numeric data (row ``b`` in the template's storage order)
+        and ``rhs_plane`` the ``(B, n)`` right-hand sides.  Fills
+        :attr:`factor_seconds` / :attr:`backsolve_seconds` with the call's
+        wall-clock split and returns a :class:`BlockSolveReport`.
+        """
+        # Plane slices produced by fancy indexing may be column-major; SuperLU
+        # needs C-contiguous rows, so normalise the layout once up front.
+        data_plane = np.ascontiguousarray(np.atleast_2d(np.asarray(data_plane, dtype=float)))
+        rhs_plane = np.ascontiguousarray(np.atleast_2d(np.asarray(rhs_plane, dtype=float)))
+        blocks, n = rhs_plane.shape
+        if data_plane.shape[0] != blocks:
+            raise ValueError("data plane and rhs plane must have matching batch sizes")
+        solutions = np.empty((blocks, n))
+        regs = np.zeros(blocks, dtype=int)
+        failed: List[int] = []
+
+        if self._pattern_key is None or not same_pattern(
+            template, self._pattern_key[0], self._pattern_key[1]
+        ):
+            # Full index-array comparison (not just shape/nnz), mirroring
+            # FactorizedSolver: a different pattern must never be scattered
+            # through a stale permutation plan.
+            self._pattern_key = (template.indptr, template.indices)
+            self._perm = None
+            self._plans = {}
+        if self._perm is None:
+            # First call for this pattern: per-block direct solves (bitwise
+            # per-slot semantics) that also seed the column-permutation cache.
+            self._first_call_blocks(template, data_plane, rhs_plane, solutions, regs, failed)
+            return BlockSolveReport(solutions, failed, regs)
+
+        start = time.perf_counter()
+        data_perm = np.ascontiguousarray(data_plane[:, self._order])
+        plan = self._plan_for(blocks, n)
+        big = plan.matrix(data_perm)
+        try:
+            lu = spla.splu(big, permc_spec="NATURAL")
+        except RuntimeError:
+            # At least one singular block: degrade to per-block solves so the
+            # healthy blocks stay bit-identical and only the singular ones pay
+            # for (and are changed by) regularisation.
+            self.block_fallbacks += 1
+            self._solve_block_fallback(
+                template, data_plane, rhs_plane, solutions, regs, failed
+            )
+            self.factor_seconds = time.perf_counter() - start
+            self.backsolve_seconds = 0.0
+            return BlockSolveReport(solutions, failed, regs)
+        except Exception as exc:
+            self.factor_seconds = time.perf_counter() - start
+            self.backsolve_seconds = 0.0
+            raise KKTSolveError(f"KKT factorisation failed: {exc}") from exc
+        self.block_factorizations += 1
+        self.factor_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        stacked = lu.solve(rhs_plane.reshape(-1))
+        solutions[:, self._perm] = stacked.reshape(blocks, n)
+        self.backsolve_seconds = time.perf_counter() - start
+        return BlockSolveReport(solutions, failed, regs)
+
+
 # ---------------------------------------------------------------------- registry
 _SOLVERS: Dict[str, Callable[..., KKTSolver]] = {
     SpsolveSolver.name: SpsolveSolver,
     FactorizedSolver.name: FactorizedSolver,
+    BlockDiagSolver.name: BlockDiagSolver,
 }
 
 

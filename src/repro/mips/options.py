@@ -39,13 +39,21 @@ class MIPSOptions:
     #: Declare numerical failure when the step or iterate norm exceeds this.
     max_stepsize: float = 1e10
     #: KKT linear-solver backend: ``"factorized"`` (``splu`` with symbolic
-    #: pattern reuse and singular-matrix regularisation, the fast path) or
+    #: pattern reuse and singular-matrix regularisation, the fast path),
+    #: ``"blockdiag"`` (one block-diagonal factorisation per lockstep batch
+    #: iteration; identical to ``"factorized"`` for scalar solves) or
     #: ``"spsolve"`` (the seed behaviour).  See :mod:`repro.mips.linsolve`.
     kkt_solver: str = "factorized"
     #: Initial diagonal shift used when a KKT factorisation is singular.
     kkt_reg: float = 1e-8
     #: Number of escalating regularisation retries before declaring failure.
     kkt_max_retries: int = 3
+    #: Iterative-refinement sweeps applied to each Newton solution: every
+    #: sweep re-solves the residual against the iteration's factorisation
+    #: (the multi-RHS/resolve path of :mod:`repro.mips.linsolve`), sharpening
+    #: steps on ill-conditioned warm starts.  0 (the default) disables
+    #: refinement and reproduces the historic behaviour exactly.
+    kkt_refine_steps: int = 0
     #: Record per-iteration history (needed for Fig. 10 traces).
     record_history: bool = True
     #: Print one line per iteration via the ``repro.mips`` logger.
@@ -75,3 +83,5 @@ class MIPSOptions:
             raise ValueError("kkt_reg must be positive")
         if self.kkt_max_retries < 0:
             raise ValueError("kkt_max_retries must be non-negative")
+        if self.kkt_refine_steps < 0:
+            raise ValueError("kkt_refine_steps must be non-negative")

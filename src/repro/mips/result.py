@@ -91,6 +91,18 @@ class MIPSResult:
     #: regularisation (0 for a well-posed solve; non-zero flags
     #: ill-conditioning that the seed solver would have failed hard on).
     kkt_regularizations: int = 0
+    #: This solve's *additive* share of wall time.  ``None`` for scalar solves
+    #: (the share is simply ``elapsed_seconds``); lockstep batch solves set it
+    #: to the sum of each iteration's wall time divided by the number of
+    #: scenarios active in that iteration, so shares sum to the batch wall and
+    #: stay comparable with scalar per-solve times (``elapsed_seconds`` keeps
+    #: meaning wall-clock-until-retirement, which overlaps across the batch).
+    wall_share_seconds: Optional[float] = None
+
+    @property
+    def share_seconds(self) -> float:
+        """The additive per-scenario solve cost (see ``wall_share_seconds``)."""
+        return self.elapsed_seconds if self.wall_share_seconds is None else self.wall_share_seconds
 
     @property
     def eflag(self) -> int:

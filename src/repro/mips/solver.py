@@ -40,7 +40,18 @@ from repro.mips.linsolve import KKTSolveError, make_kkt_solver
 from repro.mips.options import MIPSOptions
 from repro.mips.result import ConstraintPartition, IterationRecord, MIPSResult
 from repro.utils.logging import get_logger
-from repro.utils.sparse import CachedBmat, CachedTranspose, cached_vstack_csr, row_scaled_csr
+from repro.utils.sparse import (
+    CachedBmat,
+    CachedTranspose,
+    MatmulPlan,
+    _canonical_csr,
+    batched_row_sums,
+    cached_vstack_csr,
+    csr_from_template,
+    pattern_union,
+    row_scaled_csr,
+    same_pattern,
+)
 
 LOGGER = get_logger("mips")
 
@@ -89,6 +100,15 @@ class _BoundHandler:
         self._E_lb = selector(self.lb_idx, -1.0)
         self._Jg_cache = CachedBmat("csr")
         self._Jh_cache = CachedBmat("csr")
+
+    @property
+    def bound_selectors(self) -> Tuple[sp.csr_matrix, sp.csr_matrix, sp.csr_matrix]:
+        """The constant bound-row selector matrices ``(E_eq, E_ub, E_lb)``.
+
+        Shared with the batched KKT assembler, which stacks their (constant)
+        data planes under the nonlinear Jacobian blocks once per iteration.
+        """
+        return self._E_eq, self._E_ub, self._E_lb
 
     def partition(self, n_eq_nl: int, n_ineq_nl: int) -> ConstraintPartition:
         return ConstraintPartition(
@@ -147,9 +167,19 @@ class _KKTAssembler:
         N = Lx  + Jhᵀ ((µ∘h + γ) / z)
         kkt = [[M, Jgᵀ], [Jg, 0]],  rhs = [-N; -g]
 
-    Transposes, the row scaling of ``Jh`` and the final block assembly all
-    reuse their symbolic structure across iterations; the ``1/z`` and
-    row-scaling buffers are preallocated and refreshed in place.
+    Transposes, the row scaling of ``Jh``, the ``JhᵀD Jh`` product and the
+    final block assembly all reuse their symbolic structure across
+    iterations.  The product runs through a fixed-pattern
+    :class:`~repro.utils.sparse.MatmulPlan` rather than scipy's ``@``:
+    scipy's sparse matmul *prunes* output entries that happen to sum to
+    exactly zero (common at cold starts, where many Jacobian values vanish),
+    which would make the KKT pattern flip between iterations and silently
+    invalidate every downstream symbolic cache — the plan keeps the full
+    structural pattern, so the KKT pattern is stable for the life of the
+    problem.  The same plan arithmetic evaluates the batched data planes in
+    :class:`repro.mips.batch._BatchKKTAssembler` (rows are reduced
+    independently), which is what keeps per-slot and block-diagonal solves
+    bit-for-bit identical.
     """
 
     def __init__(self) -> None:
@@ -158,6 +188,24 @@ class _KKTAssembler:
         self._JgT = CachedTranspose()
         self._zinv: Optional[np.ndarray] = None
         self._scale_data: Optional[np.ndarray] = None
+        self._matmul: Optional[MatmulPlan] = None
+        self._m_template: Optional[sp.csr_matrix] = None
+        self._pos_lxx: Optional[np.ndarray] = None
+        self._pos_prod: Optional[np.ndarray] = None
+        self._plan_patterns: Optional[tuple] = None
+
+    def _product_plan(self, Lxx: sp.csr_matrix, JhT: sp.csr_matrix, Jh: sp.csr_matrix):
+        """The (cached) structural product/union plan for the current patterns."""
+        cached = self._plan_patterns
+        if cached is not None:
+            (jht_ptr, jht_idx, lxx_ptr, lxx_idx) = cached
+            if same_pattern(JhT, jht_ptr, jht_idx) and same_pattern(Lxx, lxx_ptr, lxx_idx):
+                return
+        self._matmul = MatmulPlan(JhT, Jh)
+        self._m_template, (self._pos_lxx, self._pos_prod) = pattern_union(
+            [Lxx, self._matmul.template]
+        )
+        self._plan_patterns = (JhT.indptr, JhT.indices, Lxx.indptr, Lxx.indices)
 
     def build(
         self,
@@ -180,8 +228,19 @@ class _KKTAssembler:
             if self._scale_data is None or self._scale_data.size != Jh.nnz:
                 self._scale_data = np.empty(Jh.nnz)
             Jh_scaled = row_scaled_csr(Jh, mu * zinv, out=self._scale_data)
-            M = Lxx + JhT @ Jh_scaled
-            N = Lx + JhT @ ((mu * h + gamma) * zinv)
+            Lxx = _canonical_csr(Lxx)
+            self._product_plan(Lxx, JhT, Jh_scaled)
+            prod_data = self._matmul.multiply(
+                JhT.data[None, :], Jh_scaled.data[None, :]
+            )[0]
+            m_data = np.zeros(self._m_template.nnz)
+            m_data[self._pos_lxx] += Lxx.data
+            m_data[self._pos_prod] += prod_data
+            M = csr_from_template(self._m_template, m_data)
+            vec = (mu * h + gamma) * zinv
+            N = Lx + batched_row_sums(
+                JhT.data[None, :] * vec[JhT.indices][None, :], JhT.indptr
+            )[0]
         else:
             M = Lxx
             N = Lx.copy()
@@ -427,6 +486,15 @@ def mips(
             phase["factorization"] += kkt_solver.factor_seconds
             message = "numerically failed (singular KKT system)"
             break
+        # Optional iterative refinement: each sweep re-solves the residual
+        # against the iteration's factorisation (one extra back-substitution
+        # on retaining backends — the scalar multi-RHS reuse path).  Backends
+        # without a retained factorisation simply skip refinement.
+        for _ in range(opt.kkt_refine_steps):
+            try:
+                sol = sol + kkt_solver.resolve(rhs - kkt @ sol)
+            except KKTSolveError:
+                break
         factor_seconds = kkt_solver.factor_seconds
         backsolve_seconds = kkt_solver.backsolve_seconds
         phase["factorization"] += factor_seconds

@@ -90,7 +90,10 @@ def build_opf_result(
         message=mips_result.message,
         history=list(mips_result.history),
         preprocess_seconds=preprocess_seconds,
-        solve_seconds=mips_result.elapsed_seconds,
+        # The additive per-scenario cost: wall time for scalar solves, the
+        # scenario's lockstep wall share for batch solves — keeps
+        # ``solve_seconds`` comparable and summable in both execution modes.
+        solve_seconds=mips_result.share_seconds,
         phase_seconds=dict(mips_result.phase_seconds),
         Pd_mw=None if Pd_mw is None else np.asarray(Pd_mw, dtype=float).copy(),
         Qd_mvar=None if Qd_mvar is None else np.asarray(Qd_mvar, dtype=float).copy(),

@@ -75,6 +75,9 @@ class ScenarioOutcome:
     describe the first (warm) attempt; when a fallback policy recovered a
     failure, the ``fallback_*`` fields describe the recovery and the
     ``final_*`` properties select the solve that produced the final answer.
+    ``solve_seconds`` is the scenario's *additive* solve cost — the per-solve
+    wall time in scenario mode, the scenario's share of the lockstep wall in
+    batch mode (see :class:`SweepResult`).
     """
 
     scenario_id: int
@@ -113,12 +116,20 @@ class ScenarioOutcome:
 
 @dataclass
 class SweepResult:
-    """Aggregated outcome of a scenario sweep."""
+    """Aggregated outcome of a scenario sweep.
+
+    ``execution`` records which worker mode produced the outcomes, because it
+    decides the semantics of ``ScenarioOutcome.solve_seconds``: per-solve wall
+    time in ``"scenario"`` mode, the scenario's additive share of the
+    lockstep wall in ``"batch"`` mode (shares sum to the batch wall, so both
+    flavours are comparable and summable).
+    """
 
     case_name: str
     n_workers: int
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
     wall_seconds: float = 0.0
+    execution: str = "scenario"
 
     @property
     def n_scenarios(self) -> int:
@@ -494,7 +505,10 @@ class SolverFleet:
         wall = time.perf_counter() - start
 
         sweep = SweepResult(
-            case_name=self.case.name, n_workers=self.n_workers, wall_seconds=wall
+            case_name=self.case.name,
+            n_workers=self.n_workers,
+            wall_seconds=wall,
+            execution=self.execution,
         )
         for batch in results:
             sweep.outcomes.extend(batch)

@@ -262,12 +262,20 @@ def test_sweep_warm_start_count_validation(case9_fixture):
 
 # ---------------------------------------------------------- pooled ground truth
 def test_pooled_dataset_generation_matches_direct_solves(case9_fixture, opf_model9):
-    """The pooled batch-solve path reproduces per-sample direct solves exactly."""
+    """The pooled scenario-mode path reproduces per-sample direct solves exactly.
+
+    The default (lockstep batch) path evaluates callbacks batch-vectorised, so
+    it matches per-sample solves to solver-tolerance precision — identical
+    iteration counts, objectives to 1e-12 — rather than bit-for-bit.
+    """
     from repro.grid.perturb import sample_loads
 
-    dataset = generate_dataset(case9_fixture, 5, seed=42, model=opf_model9)
+    dataset = generate_dataset(
+        case9_fixture, 5, seed=42, model=opf_model9, execution="scenario"
+    )
+    batch_set = generate_dataset(case9_fixture, 5, seed=42, model=opf_model9)
     samples = sample_loads(case9_fixture, 5, variation=0.1, seed=42)
-    assert dataset.n_samples == 5
+    assert dataset.n_samples == batch_set.n_samples == 5
     for i, sample in enumerate(samples):
         result = solve_opf(
             case9_fixture, Pd_mw=sample.Pd, Qd_mvar=sample.Qd, model=opf_model9
@@ -279,6 +287,13 @@ def test_pooled_dataset_generation_matches_direct_solves(case9_fixture, opf_mode
         np.testing.assert_array_equal(dataset.targets["Vm"][i], parts["Vm"])
         np.testing.assert_array_equal(dataset.targets["lam"][i], result.lam)
         np.testing.assert_array_equal(dataset.targets["mu"][i], result.mu)
+        # Default batch-mode generation: same trajectories, same supervision
+        # signal, solver-precision equality.
+        assert batch_set.iterations[i] == result.iterations
+        assert batch_set.objectives[i] == pytest.approx(result.objective, rel=1e-12)
+        np.testing.assert_allclose(batch_set.targets["Vm"][i], parts["Vm"], atol=1e-9)
+        np.testing.assert_allclose(batch_set.targets["lam"][i], result.lam, atol=1e-7)
+        np.testing.assert_allclose(batch_set.targets["mu"][i], result.mu, atol=1e-7)
 
 
 def test_generate_dataset_collects_solutions_only_internally(case9_fixture, opf_model9):

@@ -293,3 +293,142 @@ def test_fleet_batch_execution_validation():
         SolverFleet(case, execution="warp")
     with pytest.raises(ValueError, match="execution"):
         generate_dataset(case, 2, execution="warp")
+
+
+# ------------------------------------------------ batch-mode singular KKT paths
+def _singular_slot_qp(batch=3, nx=5, neq=2, niq=2, seed=4, consistent=True):
+    """Same-structure QP batch whose middle slot has rank-deficient equalities.
+
+    Duplicating slot 1's equality rows makes its KKT system exactly singular
+    at every iteration; with identical right-hand sides the system stays
+    *consistent* (the regularised solve is accepted by the residual check),
+    with different right-hand sides it becomes contradictory and the solve
+    must fail cleanly.
+    """
+    rng = np.random.default_rng(seed)
+    M = rng.uniform(0.5, 1.5, size=(batch, nx, nx))
+    H = M @ M.transpose(0, 2, 1) + nx * np.eye(nx)
+    c = rng.uniform(-1.0, 1.0, size=(batch, nx))
+    Aeq = rng.uniform(0.5, 1.5, size=(batch, neq, nx))
+    beq = rng.uniform(-0.5, 0.5, size=(batch, neq))
+    Aeq[1, 1] = Aeq[1, 0]
+    beq[1, 1] = beq[1, 0] if consistent else beq[1, 0] + 1.0
+    Ain = rng.uniform(0.5, 1.5, size=(batch, niq, nx))
+    bin_ = rng.uniform(1.0, 2.0, size=(batch, niq))
+
+    def f_fcn(X, idx):
+        Ha = H[idx]
+        F = 0.5 * np.einsum("bi,bij,bj->b", X, Ha, X) + np.einsum("bi,bi->b", c[idx], X)
+        dF = np.einsum("bij,bj->bi", Ha, X) + c[idx]
+        return F, dF
+
+    def gh_fcn(X, idx):
+        G = np.einsum("bij,bj->bi", Aeq[idx], X) - beq[idx]
+        Hc = np.einsum("bij,bj->bi", Ain[idx], X) - bin_[idx]
+        return G, Hc, Aeq[idx].reshape(idx.size, -1), Ain[idx].reshape(idx.size, -1)
+
+    def hess_fcn(X, lam_nl, mu_nl, cost_mult, idx):
+        return (H[idx] * cost_mult).reshape(idx.size, -1)
+
+    kwargs = dict(
+        gh_fcn=gh_fcn,
+        hess_fcn=hess_fcn,
+        jg_template=sp.csr_matrix(np.ones((neq, nx))),
+        jh_template=sp.csr_matrix(np.ones((niq, nx))),
+        hess_template=sp.csr_matrix(np.ones((nx, nx))),
+    )
+    return f_fcn, np.zeros((batch, nx)), kwargs
+
+
+@pytest.mark.parametrize("backend", ["factorized", "blockdiag"])
+def test_batch_singular_slot_recovered_by_regularization(backend):
+    """A rank-deficient (but consistent) slot converges via the diagonal
+    regularisation retry in both solver modes, and the recovery count is
+    surfaced on exactly that scenario's result."""
+    f_fcn, x0, kwargs = _singular_slot_qp()
+    results = mips_batch(f_fcn, x0, options=MIPSOptions(kkt_solver=backend), **kwargs)
+    assert all(r.converged for r in results)
+    assert results[1].kkt_regularizations > 0
+    assert results[0].kkt_regularizations == 0
+    assert results[2].kkt_regularizations == 0
+
+
+def test_batch_singular_slot_neighbours_bit_unaffected():
+    """Regularising one slot must not leak into its neighbours.
+
+    The per-slot mode isolates scenarios by construction (one solver per
+    slot), so comparing the block-diagonal mode against it bit for bit proves
+    the shared block factorisation's fallback kept the healthy neighbours'
+    trajectories untouched while slot 1 was being regularised.
+    """
+    f_fcn, x0, kwargs = _singular_slot_qp()
+    per_slot = mips_batch(f_fcn, x0, options=MIPSOptions(kkt_solver="factorized"), **kwargs)
+    blocked = mips_batch(f_fcn, x0, options=MIPSOptions(kkt_solver="blockdiag"), **kwargs)
+    for a, b in zip(per_slot, blocked):
+        assert a.iterations == b.iterations
+        assert a.kkt_regularizations == b.kkt_regularizations
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.lam, b.lam)
+        np.testing.assert_array_equal(a.mu, b.mu)
+        np.testing.assert_array_equal(a.z, b.z)
+
+
+@pytest.mark.parametrize("backend", ["factorized", "blockdiag"])
+def test_batch_inconsistent_singular_slot_fails_cleanly(backend):
+    """An *inconsistent* singular slot is rejected by the residual check and
+    classified as a singular-KKT failure; its neighbours still converge."""
+    f_fcn, x0, kwargs = _singular_slot_qp(consistent=False)
+    results = mips_batch(f_fcn, x0, options=MIPSOptions(kkt_solver=backend), **kwargs)
+    assert not results[1].converged
+    assert "singular KKT" in results[1].message
+    # Failed recoveries are not counted (the counter reports accepted ones).
+    assert results[1].kkt_regularizations == 0
+    assert results[0].converged and results[2].converged
+
+
+def test_batch_all_slots_singular_still_recovers():
+    """Even when every slot is singular from the first iteration (so the
+    block solver can never harvest a clean column permutation), the per-block
+    degradation path recovers the whole batch."""
+    import numpy as _np
+
+    rng = _np.random.default_rng(4)
+    batch, nx, neq, niq = 3, 5, 2, 2
+    M = rng.uniform(0.5, 1.5, size=(batch, nx, nx))
+    H = M @ M.transpose(0, 2, 1) + nx * _np.eye(nx)
+    c = rng.uniform(-1.0, 1.0, size=(batch, nx))
+    Aeq = rng.uniform(0.5, 1.5, size=(batch, neq, nx))
+    Aeq[:, 1] = Aeq[:, 0]
+    beq = rng.uniform(-0.5, 0.5, size=(batch, neq))
+    beq[:, 1] = beq[:, 0]
+    Ain = rng.uniform(0.5, 1.5, size=(batch, niq, nx))
+    bin_ = rng.uniform(1.0, 2.0, size=(batch, niq))
+
+    def f_fcn(X, idx):
+        Ha = H[idx]
+        F = 0.5 * _np.einsum("bi,bij,bj->b", X, Ha, X) + _np.einsum("bi,bi->b", c[idx], X)
+        return F, _np.einsum("bij,bj->bi", Ha, X) + c[idx]
+
+    def gh_fcn(X, idx):
+        return (
+            _np.einsum("bij,bj->bi", Aeq[idx], X) - beq[idx],
+            _np.einsum("bij,bj->bi", Ain[idx], X) - bin_[idx],
+            Aeq[idx].reshape(idx.size, -1),
+            Ain[idx].reshape(idx.size, -1),
+        )
+
+    def hess_fcn(X, lam_nl, mu_nl, cost_mult, idx):
+        return (H[idx] * cost_mult).reshape(idx.size, -1)
+
+    results = mips_batch(
+        f_fcn,
+        _np.zeros((batch, nx)),
+        gh_fcn=gh_fcn,
+        hess_fcn=hess_fcn,
+        jg_template=sp.csr_matrix(_np.ones((neq, nx))),
+        jh_template=sp.csr_matrix(_np.ones((niq, nx))),
+        hess_template=sp.csr_matrix(_np.ones((nx, nx))),
+        options=MIPSOptions(kkt_solver="blockdiag"),
+    )
+    assert all(r.converged for r in results)
+    assert all(r.kkt_regularizations > 0 for r in results)
