@@ -18,13 +18,15 @@ amortisation remains).  The measured speedup is always recorded in
 import os
 import time
 
+import numpy as np
 import pytest
 
 from repro.core import SmartPGSim, SmartPGSimConfig
 from repro.grid import get_case
+from repro.grid.perturb import sample_loads
 from repro.mtl import fast_config
 from repro.opf import solve_opf
-from repro.parallel import generate_scenarios
+from repro.parallel import Scenario, ScenarioSet, SolverFleet, generate_scenarios
 
 STRICT = os.environ.get("REPRO_BENCH_STRICT", "") == "1"
 #: Workers used for the engine path (bounded so laptops are not oversubscribed).
@@ -286,6 +288,162 @@ def test_bench_blockdiag_kkt_backend(benchmark, framework118, perf_recorder):
         assert speedup_vs_pr3 >= 1.5, (
             f"blockdiag throughput {block_throughput:.1f} scen/s is "
             f"{speedup_vs_pr3:.2f}x the BENCH_pr3 baseline, below the 1.5x target"
+        )
+
+
+def test_bench_elastic_scheduler_skewed_batch(benchmark, framework118, perf_recorder):
+    """Work stealing vs static chunking on a skewed warm batch.
+
+    One scenario is *unpredictably* slow: its loads are stressed well beyond
+    the training distribution, so its model warm start is poor and the solve
+    takes several times the iterations of its neighbours — while the cost
+    heuristic (which only sees warm-vs-cold and outage flags) still predicts
+    it cheap.  Cost-balanced static chunking therefore packs a full chunk
+    behind it and that worker serialises the sweep; the steal schedule
+    confines the surprise to one micro-batch and lets idle workers pull the
+    rest of the queue.
+
+    The ≥1.3x throughput gate over static chunking needs real parallelism,
+    so it is enforced only under ``REPRO_BENCH_STRICT=1`` *and* more than one
+    worker; measured walls, the skew factor and the speedup are always
+    recorded into the session perf JSON.
+    """
+    case = framework118.case
+    engine = framework118.engine
+    base = generate_scenarios(case, 24, variation=0.05, seed=31)
+    slow = Scenario(0, base[0].Pd * 1.3, base[0].Qd * 1.3)
+    scenarios = ScenarioSet(case.name, [slow] + list(base.scenarios)[1:])
+    warm_starts = engine.warm_starts_for(scenarios.feature_matrix(case.base_mva))
+    warmup = generate_scenarios(case, 2, variation=0.05, seed=1)
+
+    def make_fleet(schedule, microbatch=None):
+        fleet = SolverFleet(
+            case,
+            options=framework118.config.opf,
+            n_workers=N_WORKERS,
+            execution="batch",
+            schedule=schedule,
+            microbatch=microbatch,
+        )
+        fleet.solve(warmup)  # spawn workers and build models outside the timing
+        return fleet
+
+    with make_fleet("static") as fleet:
+        sweep_static = fleet.solve(scenarios, warm_starts)
+    with make_fleet("steal", microbatch=2) as fleet:
+        sweep_steal = benchmark.pedantic(
+            lambda: fleet.solve(scenarios, warm_starts), rounds=1, iterations=1
+        )
+
+    its = sorted(o.final_iterations for o in sweep_steal.outcomes)
+    skew = its[-1] / max(its[len(its) // 2], 1)
+    speedup = sweep_static.wall_seconds / sweep_steal.wall_seconds
+    benchmark.extra_info["static_wall_seconds"] = sweep_static.wall_seconds
+    benchmark.extra_info["steal_wall_seconds"] = sweep_steal.wall_seconds
+    benchmark.extra_info["steal_speedup"] = speedup
+    benchmark.extra_info["iteration_skew"] = skew
+    benchmark.extra_info["n_workers"] = N_WORKERS
+    perf_recorder(
+        "elastic_scheduler_skewed_batch",
+        case="case118s",
+        n_scenarios=len(scenarios),
+        n_workers=N_WORKERS,
+        static_wall_seconds=sweep_static.wall_seconds,
+        steal_wall_seconds=sweep_steal.wall_seconds,
+        steal_speedup=speedup,
+        iteration_skew=skew,
+    )
+    print(
+        f"\nElastic scheduler (case118s, {N_WORKERS} worker(s), skew {skew:.1f}x): "
+        f"static {len(scenarios) / sweep_static.wall_seconds:.1f} scen/s, "
+        f"steal {len(scenarios) / sweep_steal.wall_seconds:.1f} scen/s, "
+        f"speedup {speedup:.2f}x"
+    )
+
+    # Result invariants hold on any machine: same scenarios, same convergence.
+    assert sweep_steal.n_scenarios == sweep_static.n_scenarios == len(scenarios)
+    for a, b in zip(sweep_static.outcomes, sweep_steal.outcomes):
+        assert a.scenario_id == b.scenario_id
+        assert a.converged == b.converged
+    if STRICT and N_WORKERS > 1:
+        assert speedup >= 1.3, (
+            f"steal speedup {speedup:.2f}x below the 1.3x skewed-workload target"
+        )
+
+
+def test_bench_grouped_contingency_screening(benchmark, framework118, perf_recorder):
+    """Cross-sweep contingency batching vs fragmented per-sweep screening.
+
+    Four N-1 screening sweeps share an outage-branch set but hold only one
+    scenario per branch each, so the per-sweep static batch path degenerates
+    to singleton scalar solves per branch — the fragmentation the ROADMAP
+    flags.  ``solve_many`` merges the sweeps: each branch collects its four
+    scenarios into one lockstep group (served by the worker's memoized
+    per-branch batched model) and the load-only scenarios march together,
+    recovering the batch win.  Measurable on a single core because batched
+    evaluation dominates scalar evaluation on case118s; the grouped results
+    stay bitwise-comparable to the elastic per-sweep path (pinned by
+    ``tests/test_contingency_grouping.py``).
+    """
+    case = framework118.case
+    f, t = case.branch_bus_indices()
+    live = case.branch.status > 0
+    degree = np.bincount(f[live], minlength=case.n_bus) + np.bincount(
+        t[live], minlength=case.n_bus
+    )
+    branches = [int(b) for b in np.flatnonzero(live & (degree[f] > 1) & (degree[t] > 1))[:4]]
+    n_sweeps, per_sweep = 4, 6
+    samples = sample_loads(case, n_sweeps * per_sweep, variation=0.05, seed=41)
+    sweeps = []
+    k = 0
+    for _ in range(n_sweeps):
+        members = []
+        for i in range(per_sweep):
+            outage = branches[i] if i < len(branches) else None
+            members.append(Scenario(i, samples[k].Pd, samples[k].Qd, outage_branch=outage))
+            k += 1
+        sweeps.append(ScenarioSet(case.name, members))
+
+    options = framework118.config.opf
+    with SolverFleet(case, options=options, execution="batch", schedule="static") as fleet:
+        fleet.solve(sweeps[0])  # prime models/patterns outside the timing
+        t0 = time.perf_counter()
+        for sweep in sweeps:
+            fleet.solve(sweep)
+        fragmented_wall = time.perf_counter() - t0
+
+    with SolverFleet(case, options=options, execution="batch", schedule="steal") as fleet:
+        fleet.solve(sweeps[0])
+        grouped = benchmark.pedantic(
+            lambda: fleet.solve_many(sweeps), rounds=1, iterations=1
+        )
+        grouped_wall = grouped[0].wall_seconds
+
+    n_total = n_sweeps * per_sweep
+    speedup = fragmented_wall / grouped_wall
+    benchmark.extra_info["fragmented_wall_seconds"] = fragmented_wall
+    benchmark.extra_info["grouped_wall_seconds"] = grouped_wall
+    benchmark.extra_info["grouped_speedup"] = speedup
+    perf_recorder(
+        "grouped_contingency_screening",
+        case="case118s",
+        n_sweeps=n_sweeps,
+        n_scenarios=n_total,
+        fragmented_wall_seconds=fragmented_wall,
+        grouped_wall_seconds=grouped_wall,
+        grouped_speedup=speedup,
+    )
+    print(
+        f"\nGrouped contingency screening (case118s, {n_sweeps}x{per_sweep} scenarios, "
+        f"1 process): per-sweep {n_total / fragmented_wall:.1f} scen/s, grouped "
+        f"{n_total / grouped_wall:.1f} scen/s, speedup {speedup:.2f}x"
+    )
+
+    assert sum(s.n_scenarios for s in grouped) == n_total
+    assert all(s.success_rate == 1.0 for s in grouped)
+    if STRICT:
+        assert speedup >= 1.2, (
+            f"grouped-contingency speedup {speedup:.2f}x below the 1.2x target"
         )
 
 

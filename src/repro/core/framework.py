@@ -41,6 +41,7 @@ from repro.mtl.trainer import MTLTrainer, TrainingHistory
 from repro.opf.model import OPFModel
 from repro.opf.solver import OPFOptions
 from repro.parallel.pool import EXECUTION_MODES
+from repro.parallel.scheduler import SCHEDULES
 from repro.utils.logging import get_logger
 
 __all__ = [
@@ -79,6 +80,13 @@ class SmartPGSimConfig:
     #: per-problem cost is the additive lockstep wall share (see
     #: :func:`repro.data.dataset.generate_dataset`).
     execution: str = "batch"
+    #: Fleet scheduling policy for both sides: ``"static"`` (cost-balanced
+    #: fixed chunks, the default — keeps ground truth bit-pinned to the PR 4
+    #: semantics tests) or ``"steal"`` (elastic micro-batch queue with work
+    #: stealing; see :mod:`repro.parallel.scheduler`).
+    schedule: str = "static"
+    #: Micro-batch size for the elastic scheduler (auto-sized when None).
+    microbatch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.model_type not in ("mtl", "separate"):
@@ -91,6 +99,10 @@ class SmartPGSimConfig:
             raise ValueError("n_workers must be positive")
         if self.execution not in EXECUTION_MODES:
             raise ValueError(f"execution must be one of {EXECUTION_MODES}")
+        if self.schedule not in SCHEDULES:
+            raise ValueError(f"schedule must be one of {SCHEDULES}")
+        if self.microbatch is not None and self.microbatch < 1:
+            raise ValueError("microbatch must be positive")
         get_fallback_policy(self.fallback)  # validate eagerly
 
 
@@ -132,6 +144,8 @@ class SmartPGSim:
                 model=self.opf_model,
                 n_workers=cfg.n_workers,
                 execution=cfg.execution,
+                schedule=cfg.schedule,
+                microbatch=cfg.microbatch,
             )
         dataset_seconds = time.perf_counter() - t0
 
@@ -167,7 +181,12 @@ class SmartPGSim:
         if self._engine is not None:  # retraining: shut the old fleets down first
             self._engine.close()
         self._engine = WarmStartEngine.from_trainer(
-            trainer, opf_options=cfg.opf, fallback=cfg.fallback, execution=cfg.execution
+            trainer,
+            opf_options=cfg.opf,
+            fallback=cfg.fallback,
+            execution=cfg.execution,
+            schedule=cfg.schedule,
+            microbatch=cfg.microbatch,
         )
         LOGGER.info(
             "%s offline done: %d samples, dataset %.1fs, training %.1fs",

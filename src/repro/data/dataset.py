@@ -22,6 +22,7 @@ from repro.opf.model import OPFModel, VariableIndex
 from repro.opf.solver import OPFOptions
 from repro.parallel.pool import EXECUTION_MODES, run_scenario_sweep
 from repro.parallel.scenarios import Scenario, ScenarioSet
+from repro.parallel.scheduler import SCHEDULES
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike
 
@@ -155,6 +156,8 @@ def generate_dataset(
     drop_failures: bool = True,
     n_workers: int = 1,
     execution: str = "batch",
+    schedule: str = "static",
+    microbatch: Optional[int] = None,
 ) -> OPFDataset:
     """Generate ground-truth data by solving sampled scenarios with MIPS.
 
@@ -172,6 +175,12 @@ def generate_dataset(
     ±10 % load variation), matching the paper's use of converged solutions as
     supervision signal.
 
+    ``schedule`` picks the fleet's dispatch policy (``"static"`` cost-balanced
+    chunks, the default, or ``"steal"`` for the elastic micro-batch queue —
+    see :mod:`repro.parallel.scheduler`); ``microbatch`` bounds the elastic
+    micro-batch size.  The default stays ``"static"`` so the batch-mode
+    ground truth remains bit-pinned to the PR 4 semantics tests.
+
     **Timing semantics.**  ``solve_seconds`` records each scenario's
     *additive wall share* of its solve: in scenario mode that is simply the
     per-solve wall time; in batch mode every lockstep iteration's wall time
@@ -185,6 +194,8 @@ def generate_dataset(
     options = options or OPFOptions()
     if execution not in EXECUTION_MODES:
         raise ValueError(f"execution must be one of {EXECUTION_MODES}")
+    if schedule not in SCHEDULES:
+        raise ValueError(f"schedule must be one of {SCHEDULES}")
     samples = sample_loads(case, n_samples, variation=variation, seed=seed)
     scenario_set = ScenarioSet(
         case.name,
@@ -198,6 +209,8 @@ def generate_dataset(
         collect_solutions=True,
         model=model if n_workers == 1 else None,
         execution=execution,
+        schedule=schedule,
+        microbatch=microbatch,
     )
 
     idx = model.idx if model is not None else VariableIndex(nb=case.n_bus, ng=case.n_gen)

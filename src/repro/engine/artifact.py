@@ -128,6 +128,8 @@ def load_artifact(
     fallback: object = PERSISTED_FALLBACK,
     opf_model: Optional[OPFModel] = None,
     execution: str = "scenario",
+    schedule: str = "static",
+    microbatch: Optional[int] = None,
 ) -> WarmStartEngine:
     """Reconstruct a :class:`WarmStartEngine` from an artifact file.
 
@@ -137,8 +139,8 @@ def load_artifact(
     values and can be overridden for the new deployment; passing
     ``fallback=None`` explicitly selects no recovery
     (:class:`~repro.engine.fallback.NoFallback`), as everywhere else.
-    ``execution`` selects the solver fleet's execution mode (it is a
-    deployment choice, not part of the trained artifact).
+    ``execution``, ``schedule`` and ``microbatch`` configure the solver
+    fleet (they are deployment choices, not part of the trained artifact).
     """
     try:
         arrays, meta = load_bundle(path)
@@ -193,4 +195,6 @@ def load_artifact(
         fallback=get_fallback_policy(fallback),
         opf_model=opf_model,
         execution=execution,
+        schedule=schedule,
+        microbatch=microbatch,
     )

@@ -42,6 +42,7 @@ from repro.opf.solver import OPFOptions
 from repro.opf.warmstart import WarmStart
 from repro.parallel.pool import EXECUTION_MODES, SolverFleet, SweepResult
 from repro.parallel.scenarios import Scenario, ScenarioSet
+from repro.parallel.scheduler import SCHEDULES
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("engine")
@@ -65,6 +66,8 @@ class WarmStartEngine:
         opf_model: Optional[OPFModel] = None,
         execution: str = "scenario",
         kkt_solver: Optional[str] = None,
+        schedule: str = "static",
+        microbatch: Optional[int] = None,
     ):
         self.case = case
         self.network = network
@@ -85,9 +88,18 @@ class WarmStartEngine:
         if execution not in EXECUTION_MODES:
             # Fail at construction, not at the first (lazy) fleet creation.
             raise ValueError(f"execution must be one of {EXECUTION_MODES}")
+        if schedule not in SCHEDULES:
+            raise ValueError(f"schedule must be one of {SCHEDULES}")
+        if microbatch is not None and microbatch < 1:
+            raise ValueError("microbatch must be positive")
         #: Worker execution mode: ``"scenario"`` (per-scenario solves) or
         #: ``"batch"`` (lockstep batched MIPS per worker).
         self.execution = execution
+        #: Fleet scheduling policy: ``"static"`` (cost-balanced fixed chunks)
+        #: or ``"steal"`` (elastic micro-batch queue with work stealing).
+        self.schedule = schedule
+        #: Micro-batch size for the elastic scheduler (auto-sized when None).
+        self.microbatch = microbatch
         #: Live fleets keyed by worker count; created lazily, kept across calls.
         self._fleets: Dict[int, SolverFleet] = {}
 
@@ -100,6 +112,8 @@ class WarmStartEngine:
         fallback: Union[str, FallbackPolicy, None] = "cold_restart",
         execution: str = "scenario",
         kkt_solver: Optional[str] = None,
+        schedule: str = "static",
+        microbatch: Optional[int] = None,
     ) -> "WarmStartEngine":
         """Build an engine that shares a trained :class:`MTLTrainer`'s state."""
         return cls(
@@ -112,6 +126,8 @@ class WarmStartEngine:
             opf_model=trainer.opf_model,
             execution=execution,
             kkt_solver=kkt_solver,
+            schedule=schedule,
+            microbatch=microbatch,
         )
 
     # ---------------------------------------------------------------- inference
@@ -137,12 +153,15 @@ class WarmStartEngine:
                 fallback=self.fallback,
                 model=self.opf_model if n_workers == 1 else None,
                 execution=self.execution,
+                schedule=self.schedule,
+                microbatch=self.microbatch,
             )
             self._fleets[n_workers] = fleet
             LOGGER.info(
-                "%s: started %s-mode solver fleet with %d worker(s)",
+                "%s: started %s-mode (%s-scheduled) solver fleet with %d worker(s)",
                 self.case.name,
                 self.execution,
+                self.schedule,
                 n_workers,
             )
         return fleet
@@ -237,6 +256,8 @@ class WarmStartEngine:
         fallback: object = PERSISTED_FALLBACK,
         opf_model: Optional[OPFModel] = None,
         execution: str = "scenario",
+        schedule: str = "static",
+        microbatch: Optional[int] = None,
     ) -> "WarmStartEngine":
         """Reconstruct an engine previously written by :meth:`save_artifact`.
 
@@ -252,6 +273,8 @@ class WarmStartEngine:
             fallback=fallback,
             opf_model=opf_model,
             execution=execution,
+            schedule=schedule,
+            microbatch=microbatch,
         )
 
     # ---------------------------------------------------------------- lifecycle

@@ -11,7 +11,7 @@ from repro.mips.linsolve import (
     make_kkt_solver,
     register_kkt_solver,
 )
-from repro.mips.batch import mips_batch
+from repro.mips.batch import BatchFeedPayload, mips_batch
 from repro.mips.options import MIPSOptions
 from repro.mips.qp import qps_mips
 from repro.mips.result import ConstraintPartition, IterationRecord, MIPSResult
@@ -24,6 +24,7 @@ __all__ = [
     "ConstraintPartition",
     "mips",
     "mips_batch",
+    "BatchFeedPayload",
     "qps_mips",
     "KKTSolver",
     "KKTSolveError",

@@ -19,10 +19,17 @@ to the per-slot path, so the two stay interchangeable.
 
 Scenarios retire individually: a converged (or numerically failed) scenario
 drops out of the active set immediately, so stragglers never pay for
-finishers.  Each scenario gets its own :class:`~repro.mips.result.MIPSResult`
-with the same message vocabulary, iteration history and termination behaviour
-as the scalar :func:`~repro.mips.solver.mips` — the parity suite asserts the
-two agree scenario-by-scenario.
+finishers.  The converse also holds — a retire-and-refill ``feed``
+(:class:`BatchFeedPayload`) can enroll queued scenarios into the freed slots
+*between iterations*, turning the initial batch width into a lockstep window
+that elastic schedulers keep topped up.  Enrollment runs the exact entry path
+of the initial batch (and block backends give fresh scenarios the per-block
+direct first factorisation), so a scenario's trajectory is bit-identical no
+matter when, or whether, it was fed in.  Each scenario gets its own
+:class:`~repro.mips.result.MIPSResult` with the same message vocabulary,
+iteration history and termination behaviour as the scalar
+:func:`~repro.mips.solver.mips` — the parity suite asserts the two agree
+scenario-by-scenario.
 
 Phase-timing attribution is honest but necessarily shared for the vectorised
 phases: batched evaluation time is split evenly across the scenarios that
@@ -53,6 +60,7 @@ can look up per-scenario data (loads) for the shrinking active set.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
@@ -89,6 +97,32 @@ BatchedHessianFn = Callable[
 ]
 
 _PHASES = ("eval", "assembly", "factorization", "backsolve")
+
+
+@dataclass(frozen=True)
+class BatchFeedPayload:
+    """Scenarios handed to a running lockstep batch by a retire-and-refill feed.
+
+    ``x0`` holds one primal start per enrolling scenario; the optional warm
+    components and masks mirror :func:`mips_batch`'s entry parameters.  Rows
+    are enrolled in order, continuing the global row numbering — the ``idx``
+    arrays the batched callbacks receive index the *enrollment order*, so the
+    per-scenario data the callbacks close over must be laid out the same way.
+    """
+
+    x0: np.ndarray
+    lam0: Optional[np.ndarray] = None
+    mu0: Optional[np.ndarray] = None
+    z0: Optional[np.ndarray] = None
+    lam0_mask: Optional[np.ndarray] = None
+    mu0_mask: Optional[np.ndarray] = None
+    z0_mask: Optional[np.ndarray] = None
+
+
+#: Retire-and-refill hook: called with the number of free lockstep slots,
+#: returns the next scenarios to enroll (at most that many rows) or ``None``
+#: when the queue is exhausted.
+BatchFeedFn = Callable[[int], Optional[BatchFeedPayload]]
 
 
 def _canonical_template(template: Optional[sp.spmatrix], nx: int) -> sp.csr_matrix:
@@ -265,6 +299,8 @@ def mips_batch(
     mu0_mask: Optional[np.ndarray] = None,
     z0_mask: Optional[np.ndarray] = None,
     options: Optional[MIPSOptions] = None,
+    feed: Optional[BatchFeedFn] = None,
+    feed_capacity: Optional[int] = None,
 ) -> List[MIPSResult]:
     """Solve ``B`` same-structure NLPs in lockstep; one result per scenario.
 
@@ -276,15 +312,39 @@ def mips_batch(
     the fixed sparsity patterns of the nonlinear-constraint Jacobians and the
     Lagrangian Hessian whose data planes the callbacks produce.
 
-    Returns a list of per-scenario :class:`MIPSResult` in batch order.
+    **Retire-and-refill.**  When ``feed`` is given, the width of ``x0``'s
+    batch becomes a lockstep *window*: every time scenarios retire (converge
+    or fail), the feed is asked for replacements, which are enrolled between
+    iterations and run through exactly the entry path the initial batch took
+    — same warm-start initialisation, same entry evaluation, and a per-block
+    *direct* first KKT factorisation on block backends — so a scenario's
+    trajectory is bit-identical no matter when (or whether) it was fed in.
+    ``feed_capacity`` (required with ``feed``) bounds the total number of
+    scenarios the call may enroll; per-scenario iteration counts, histories
+    and wall shares are kept relative to each scenario's own enrollment.
+
+    Returns a list of per-scenario :class:`MIPSResult` in enrollment order
+    (batch order, then fed scenarios in feed order).
     """
     opt = options or MIPSOptions()
     opt.validate()
 
-    X = np.array(x0, dtype=float)
-    if X.ndim != 2:
+    X0 = np.array(x0, dtype=float)
+    if X0.ndim != 2:
         raise ValueError("x0 must be a (B, nx) matrix")
-    batch, nx = X.shape
+    batch, nx = X0.shape
+    if batch == 0:
+        if feed is not None:
+            raise ValueError("the initial batch must be non-empty when a feed is given")
+        return []
+    if feed is None:
+        capacity = batch
+    else:
+        if feed_capacity is None:
+            raise ValueError("feed_capacity is required when a feed is given")
+        capacity = int(feed_capacity)
+        if capacity < batch:
+            raise ValueError("feed_capacity must cover the initial batch")
     xmin = np.full(nx, -np.inf) if xmin is None else np.asarray(xmin, dtype=float)
     xmax = np.full(nx, np.inf) if xmax is None else np.asarray(xmax, dtype=float)
     if xmin.shape != (nx,) or xmax.shape != (nx,):
@@ -310,62 +370,63 @@ def mips_batch(
     jgT_order, jgT_indptr, jgT_indices = transpose_plan(jg_t)
     jhT_order, jhT_indptr, jhT_indices = transpose_plan(jh_t)
 
-    # One solver per slot for per-slot backends; backends that support whole
-    # block iterations (``blockdiag``) get a single shared instance plus the
-    # plan-based batched assembler, removing the per-slot assemble/factor/
-    # backsolve loop entirely.
+    # One solver per enrolled scenario for per-slot backends; backends that
+    # support whole block iterations (``blockdiag``) get a single shared
+    # instance plus the plan-based batched assembler, removing the per-slot
+    # assemble/factor/backsolve loop entirely.
     proto_solver = make_kkt_solver(
         opt.kkt_solver, regularization=opt.kkt_reg, max_retries=opt.kkt_max_retries
     )
     use_blocks = bool(getattr(proto_solver, "supports_blocks", False))
+    solvers: List = []
     if use_blocks:
         block_solver = proto_solver
-        solvers = []
         batch_assembler = _BatchKKTAssembler(jg_t, jh_t, hess_t, bounds)
     else:
         block_solver = None
         batch_assembler = None
-        solvers = [proto_solver] + [
-            make_kkt_solver(
-                opt.kkt_solver, regularization=opt.kkt_reg, max_retries=opt.kkt_max_retries
-            )
-            for _ in range(batch - 1)
-        ]
     assembler = _KKTAssembler()
 
     # ------------------------------------------------------------- batch state
-    start_time = time.perf_counter()
-    X[:, eq_idx] = xmin[eq_idx]
-    if lb_idx.size:
-        X[:, lb_idx] = np.maximum(X[:, lb_idx], xmin[lb_idx])
-    if ub_idx.size:
-        X[:, ub_idx] = np.minimum(X[:, ub_idx], xmax[ub_idx])
-
-    F = np.zeros(batch)
-    dF = np.zeros((batch, nx))
-    G = np.zeros((batch, neq))
-    H = np.zeros((batch, niq))
-    Jg_data = np.zeros((batch, jg_t.nnz))
-    Jh_data = np.zeros((batch, jh_t.nnz))
-    Lx = np.zeros((batch, nx))
-    lam = np.zeros((batch, neq))
-    mu = np.zeros((batch, niq))
-    z = np.zeros((batch, niq))
-    gamma = np.full(batch, opt.z0)
-    conds = np.zeros((batch, 4))
+    # Arrays are sized for every scenario the call may ever hold (just the
+    # initial batch without a feed); ``n_enrolled`` is the high-water mark,
+    # ``active`` masks the scenarios currently marching, and the initial batch
+    # width doubles as the lockstep *window* the feed refills.
+    width = batch
+    X = np.zeros((capacity, nx))
+    F = np.zeros(capacity)
+    dF = np.zeros((capacity, nx))
+    G = np.zeros((capacity, neq))
+    H = np.zeros((capacity, niq))
+    Jg_data = np.zeros((capacity, jg_t.nnz))
+    Jh_data = np.zeros((capacity, jh_t.nnz))
+    Lx = np.zeros((capacity, nx))
+    lam = np.zeros((capacity, neq))
+    mu = np.zeros((capacity, niq))
+    z = np.zeros((capacity, niq))
+    gamma = np.full(capacity, opt.z0)
+    conds = np.zeros((capacity, 4))
     tols = np.array([opt.feastol, opt.gradtol, opt.comptol, opt.costtol])
 
-    iterations = np.zeros(batch, dtype=int)
-    phase = {name: np.zeros(batch) for name in _PHASES}
-    histories: List[List[IterationRecord]] = [[] for _ in range(batch)]
-    results: List[Optional[MIPSResult]] = [None] * batch
-    active = np.ones(batch, dtype=bool)
+    iterations = np.zeros(capacity, dtype=int)
+    phase = {name: np.zeros(capacity) for name in _PHASES}
+    histories: List[List[IterationRecord]] = [[] for _ in range(capacity)]
+    results: List[Optional[MIPSResult]] = [None] * capacity
+    active = np.zeros(capacity, dtype=bool)
     #: Accepted singular-KKT recoveries per scenario (both solver modes).
-    reg_counts = np.zeros(batch, dtype=int)
+    reg_counts = np.zeros(capacity, dtype=int)
     #: Additive wall share per scenario: every iteration's wall time is split
     #: evenly over the scenarios active in it, so shares sum to the lockstep
     #: wall and stay comparable with scalar per-solve times.
-    share = np.zeros(batch)
+    share = np.zeros(capacity)
+    #: Completed lockstep iterations at each scenario's enrollment: iteration
+    #: counts, history numbering and the per-scenario iteration limit are all
+    #: relative to it, so a fed scenario behaves as if it started fresh.
+    start_it = np.zeros(capacity, dtype=int)
+    #: Wall clock at each scenario's enrollment (its ``elapsed_seconds`` zero).
+    enroll_clock = np.zeros(capacity)
+    n_enrolled = 0
+    it = 0
 
     def evaluate(idx: np.ndarray) -> float:
         """Evaluate objective + constraints for rows ``idx``; returns wall time."""
@@ -447,72 +508,153 @@ def mips_batch(
             partition=partition,
             message=message,
             history=histories[b],
-            elapsed_seconds=time.perf_counter() - start_time,
+            elapsed_seconds=time.perf_counter() - enroll_clock[b],
             phase_seconds={name: float(phase[name][b]) for name in _PHASES},
             kkt_regularizations=int(reg_counts[b]),
             wall_share_seconds=float(share[b]),
         )
 
-    # ----------------------------------------------------------------- entry
-    all_idx = np.arange(batch)
-    entry_dt = evaluate(all_idx)
-    phase["eval"] += entry_dt / batch
+    def enroll(payload: BatchFeedPayload) -> np.ndarray:
+        """Enter scenarios into the lockstep batch (initial batch and feed).
 
-    lam0, lam_mask = _warm_rows(lam0, lam0_mask, batch, neq, "lam0")
-    mu0, mu_mask = _warm_rows(mu0, mu0_mask, batch, niq, "mu0")
-    z0, z_mask = _warm_rows(z0, z0_mask, batch, niq, "z0")
-    if lam0 is not None and np.any(lam_mask):
-        lam[lam_mask] = lam0[lam_mask]
-    if niq:
-        z[:] = opt.z0
-        below = H < -opt.z0
-        z[below] = -H[below]
-        if z0 is not None and np.any(z_mask):
-            z[z_mask] = np.maximum(z0[z_mask], 1e-10)
-        mu[:] = opt.z0
-        big = gamma[:, None] / np.maximum(z, 1e-300) > opt.z0
-        mu[big] = np.broadcast_to(gamma[:, None], z.shape)[big] / z[big]
-        if mu0 is not None and np.any(mu_mask):
-            mu[mu_mask] = np.maximum(mu0[mu_mask], 1e-10)
-        warm = mu_mask | z_mask
-        if np.any(warm):
-            gamma[warm] = np.maximum(
-                opt.sigma * np.einsum("ij,ij->i", z[warm], mu[warm]) / niq, 1e-12
-            )
-
-    lagrangian_gradient(all_idx)
-    F0 = F.copy()
-    conditions(all_idx, F0)
-
-    if opt.record_history:
-        entry_share = entry_dt / batch
-        for b in range(batch):
-            histories[b].append(
-                IterationRecord(
-                    iteration=0,
-                    step_size=0.0,
-                    feascond=conds[b, 0],
-                    gradcond=conds[b, 1],
-                    compcond=conds[b, 2],
-                    costcond=conds[b, 3],
-                    objective=F[b] / opt.cost_mult,
-                    gamma=gamma[b],
-                    alpha_primal=0.0,
-                    alpha_dual=0.0,
-                    eval_seconds=entry_share,
+        One code path for both means a fed scenario takes bit-for-bit the
+        entry route a standalone batch member takes: primal clamp into
+        bounds, entry evaluation, warm-start dual initialisation, entry
+        conditions (and immediate retirement when already converged).
+        """
+        nonlocal n_enrolled
+        t0 = time.perf_counter()
+        xb = np.atleast_2d(np.array(payload.x0, dtype=float))
+        if xb.ndim != 2 or xb.shape[1] != nx:
+            raise ValueError("fed x0 rows must form a (k, nx) matrix")
+        k = xb.shape[0]
+        if k == 0:
+            raise ValueError("a feed payload must enroll at least one scenario")
+        if n_enrolled + k > capacity:
+            raise ValueError("feed enrolled more scenarios than feed_capacity")
+        new = np.arange(n_enrolled, n_enrolled + k)
+        n_enrolled += k
+        enroll_clock[new] = t0
+        start_it[new] = it
+        active[new] = True
+        if not use_blocks:
+            solvers.extend(
+                make_kkt_solver(
+                    opt.kkt_solver, regularization=opt.kkt_reg, max_retries=opt.kkt_max_retries
                 )
+                for _ in range(k)
             )
 
-    share += (time.perf_counter() - start_time) / batch
-    for b in np.flatnonzero((conds < tols).all(axis=1)):
-        finalize(int(b), "converged", True)
+        xb[:, eq_idx] = xmin[eq_idx]
+        if lb_idx.size:
+            xb[:, lb_idx] = np.maximum(xb[:, lb_idx], xmin[lb_idx])
+        if ub_idx.size:
+            xb[:, ub_idx] = np.minimum(xb[:, ub_idx], xmax[ub_idx])
+        X[new] = xb
+
+        entry_dt = evaluate(new)
+        phase["eval"][new] += entry_dt / k
+
+        lam0v, lam_m = _warm_rows(payload.lam0, payload.lam0_mask, k, neq, "lam0")
+        mu0v, mu_m = _warm_rows(payload.mu0, payload.mu0_mask, k, niq, "mu0")
+        z0v, z_m = _warm_rows(payload.z0, payload.z0_mask, k, niq, "z0")
+        if lam0v is not None and np.any(lam_m):
+            lam[new[lam_m]] = lam0v[lam_m]
+        if niq:
+            Hn = H[new]
+            zn = np.full((k, niq), opt.z0)
+            below = Hn < -opt.z0
+            zn[below] = -Hn[below]
+            if z0v is not None and np.any(z_m):
+                zn[z_m] = np.maximum(z0v[z_m], 1e-10)
+            gn = np.full(k, opt.z0)
+            mun = np.full((k, niq), opt.z0)
+            big = gn[:, None] / np.maximum(zn, 1e-300) > opt.z0
+            mun[big] = np.broadcast_to(gn[:, None], zn.shape)[big] / zn[big]
+            if mu0v is not None and np.any(mu_m):
+                mun[mu_m] = np.maximum(mu0v[mu_m], 1e-10)
+            warm = mu_m | z_m
+            if np.any(warm):
+                gn[warm] = np.maximum(
+                    opt.sigma * np.einsum("ij,ij->i", zn[warm], mun[warm]) / niq, 1e-12
+                )
+            z[new] = zn
+            mu[new] = mun
+            gamma[new] = gn
+
+        lagrangian_gradient(new)
+        conditions(new, F[new])
+
+        if opt.record_history:
+            entry_share = entry_dt / k
+            for b in new:
+                histories[b].append(
+                    IterationRecord(
+                        iteration=0,
+                        step_size=0.0,
+                        feascond=conds[b, 0],
+                        gradcond=conds[b, 1],
+                        compcond=conds[b, 2],
+                        costcond=conds[b, 3],
+                        objective=F[b] / opt.cost_mult,
+                        gamma=gamma[b],
+                        alpha_primal=0.0,
+                        alpha_dual=0.0,
+                        eval_seconds=entry_share,
+                    )
+                )
+
+        share[new] += (time.perf_counter() - t0) / k
+        for b in new[(conds[new] < tols).all(axis=1)]:
+            finalize(int(b), "converged", True)
+        return new
+
+    # ----------------------------------------------------------------- entry
+    enroll(
+        BatchFeedPayload(
+            x0=X0,
+            lam0=lam0,
+            mu0=mu0,
+            z0=z0,
+            lam0_mask=lam0_mask,
+            mu0_mask=mu0_mask,
+            z0_mask=z0_mask,
+        )
+    )
+    feed_drained = feed is None
+
+    # Per-iteration scratch, allocated once: rows are (re)assigned before any
+    # read within the iteration that uses them (survivors only), so no
+    # clearing between iterations is needed.
+    DX = np.zeros((capacity, nx))
+    Dlam = np.zeros((capacity, neq))
+    it_eval = np.zeros(capacity)
+    it_asm = np.zeros(capacity)
+    it_fac = np.zeros(capacity)
+    it_back = np.zeros(capacity)
 
     # ------------------------------------------------------------------ loop
-    it = 0
-    while np.any(active) and it < opt.max_it:
-        it += 1
+    while True:
+        # Retire-and-refill: top the active set back up to the lockstep
+        # window from the feed before the next iteration marches.
+        if not feed_drained:
+            free = width - int(np.count_nonzero(active))
+            while free > 0:
+                payload = feed(free)
+                if payload is None:
+                    feed_drained = True
+                    break
+                if np.atleast_2d(np.asarray(payload.x0)).shape[0] > free:
+                    raise ValueError(
+                        "feed returned more scenarios than the requested free slots"
+                    )
+                enroll(payload)
+                free = width - int(np.count_nonzero(active))
         idx = np.flatnonzero(active)
-        iterations[idx] = it
+        if idx.size == 0:
+            break
+        it += 1
+        iterations[idx] = it - start_it[idx]
         na = idx.size
         t_iter = time.perf_counter()
         #: Failures detected during this iteration; finalised after the wall
@@ -535,15 +677,9 @@ def mips_batch(
         )
         hess_dt = time.perf_counter() - t0
         phase["eval"][idx] += hess_dt / na
-        it_eval = np.zeros(batch)
         it_eval[idx] = hess_dt / na
-        it_asm = np.zeros(batch)
-        it_fac = np.zeros(batch)
-        it_back = np.zeros(batch)
 
         # ------------------------- assembly + factor + solve (block or per-slot)
-        DX = np.zeros((batch, nx))
-        Dlam = np.zeros((batch, neq))
         survivors: List[int] = []
 
         def accept_step(b: int, sol: np.ndarray) -> None:
@@ -573,27 +709,46 @@ def mips_batch(
             asm_dt = (time.perf_counter() - t0) / na
             phase["assembly"][idx] += asm_dt
             it_asm[idx] = asm_dt
-            try:
-                report = block_solver.solve_blocks(
-                    batch_assembler.kkt_template, kkt_plane, rhs_plane
-                )
-            except KKTSolveError:
-                phase["factorization"][idx] += block_solver.factor_seconds / na
-                for b in idx:
-                    pending.append((int(b), "numerically failed (singular KKT system)"))
-                close_iteration()
-                continue
-            phase["factorization"][idx] += block_solver.factor_seconds / na
-            phase["backsolve"][idx] += block_solver.backsolve_seconds / na
-            it_fac[idx] = block_solver.factor_seconds / na
-            it_back[idx] = block_solver.backsolve_seconds / na
-            reg_counts[idx] += report.regularizations
-            failed = set(report.failed)
-            for p, b in enumerate(idx):
-                if p in failed:
-                    pending.append((int(b), "numerically failed (singular KKT system)"))
+            # Scenarios in their first iteration — the whole batch at it=1,
+            # fed scenarios later — take the per-block *direct* factorisation
+            # path (a per-slot solver's first factorisation is a direct
+            # ``splu``); seasoned scenarios replay the cached permutation in
+            # one block factorisation.  The split keeps a scenario's
+            # trajectory independent of when the feed enrolled it.
+            fresh = start_it[idx] == it - 1
+            parts: List[Tuple[np.ndarray, bool]] = []
+            if np.any(~fresh):
+                parts.append((np.flatnonzero(~fresh), False))
+            if np.any(fresh):
+                parts.append((np.flatnonzero(fresh), True))
+            fac_dt = back_dt = 0.0
+            for pos, direct in parts:
+                rows = idx[pos]
+                try:
+                    report = block_solver.solve_blocks(
+                        batch_assembler.kkt_template,
+                        kkt_plane[pos],
+                        rhs_plane[pos],
+                        direct=direct,
+                    )
+                except KKTSolveError:
+                    fac_dt += block_solver.factor_seconds
+                    for b in rows:
+                        pending.append((int(b), "numerically failed (singular KKT system)"))
                     continue
-                accept_step(int(b), report.solutions[p])
+                fac_dt += block_solver.factor_seconds
+                back_dt += block_solver.backsolve_seconds
+                reg_counts[rows] += report.regularizations
+                failed = set(report.failed)
+                for p, b in enumerate(rows):
+                    if p in failed:
+                        pending.append((int(b), "numerically failed (singular KKT system)"))
+                        continue
+                    accept_step(int(b), report.solutions[p])
+            phase["factorization"][idx] += fac_dt / na
+            phase["backsolve"][idx] += back_dt / na
+            it_fac[idx] = fac_dt / na
+            it_back[idx] = back_dt / na
         else:
             for p, b in enumerate(idx):
                 t0 = time.perf_counter()
@@ -674,7 +829,7 @@ def mips_batch(
             for pos, b in enumerate(s):
                 histories[b].append(
                     IterationRecord(
-                        iteration=it,
+                        iteration=int(iterations[b]),
                         step_size=float(step_sizes[pos]),
                         feascond=conds[b, 0],
                         gradcond=conds[b, 1],
@@ -713,6 +868,11 @@ def mips_batch(
             elif diverged[pos]:
                 finalize(int(b), "numerically failed (iterate diverged)", False)
 
-    for b in np.flatnonzero(active):
-        finalize(int(b), "iteration limit reached", False)
-    return results  # type: ignore[return-value]
+        # Per-scenario iteration limit, relative to each scenario's own
+        # enrollment (a fed scenario gets the full budget it would have had
+        # in a standalone batch).
+        for b in np.flatnonzero(active):
+            if it - start_it[b] >= opt.max_it:
+                finalize(int(b), "iteration limit reached", False)
+
+    return results[:n_enrolled]  # type: ignore[return-value]

@@ -561,6 +561,7 @@ class BlockDiagSolver(KKTSolver):
         template: sp.csc_matrix,
         data_plane: np.ndarray,
         rhs_plane: np.ndarray,
+        direct: bool = False,
     ) -> BlockSolveReport:
         """Solve ``B`` same-pattern systems with one block-diagonal factorisation.
 
@@ -569,6 +570,15 @@ class BlockDiagSolver(KKTSolver):
         and ``rhs_plane`` the ``(B, n)`` right-hand sides.  Fills
         :attr:`factor_seconds` / :attr:`backsolve_seconds` with the call's
         wall-clock split and returns a :class:`BlockSolveReport`.
+
+        ``direct=True`` forces the per-block direct-``splu`` path regardless
+        of the cached permutation.  The batched MIPS loop uses it for blocks
+        in their *first* iteration — scenarios enrolled into a running
+        lockstep batch by the retire-and-refill feed — because a per-slot
+        :class:`FactorizedSolver`'s first factorisation is a direct ``splu``
+        and only the replay of its harvested permutation is bit-reproducible;
+        routing fresh blocks through the same direct path keeps a scenario's
+        trajectory independent of *when* it joined the batch.
         """
         # Plane slices produced by fancy indexing may be column-major; SuperLU
         # needs C-contiguous rows, so normalise the layout once up front.
@@ -590,9 +600,10 @@ class BlockDiagSolver(KKTSolver):
             self._pattern_key = (template.indptr, template.indices)
             self._perm = None
             self._plans = {}
-        if self._perm is None:
-            # First call for this pattern: per-block direct solves (bitwise
-            # per-slot semantics) that also seed the column-permutation cache.
+        if direct or self._perm is None:
+            # First call for this pattern (or explicitly fresh blocks):
+            # per-block direct solves (bitwise per-slot first-iteration
+            # semantics) that also seed the column-permutation cache.
             self._first_call_blocks(template, data_plane, rhs_plane, solutions, regs, failed)
             return BlockSolveReport(solutions, failed, regs)
 

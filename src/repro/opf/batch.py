@@ -26,7 +26,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.grid.components import Case
-from repro.mips.batch import mips_batch
+from repro.mips.batch import BatchFeedPayload, mips_batch
 from repro.opf.model import OPFModel
 from repro.opf.result import OPFResult, build_opf_result
 from repro.opf.solver import OPFOptions
@@ -320,6 +320,7 @@ def solve_opf_batch(
     options: Optional[OPFOptions] = None,
     model: Optional[OPFModel] = None,
     batched: Optional[BatchedOPFModel] = None,
+    window: Optional[int] = None,
 ) -> List[OPFResult]:
     """Solve a batch of load scenarios of one case in lockstep.
 
@@ -328,6 +329,18 @@ def solve_opf_batch(
     cold start, and missing components fall back to solver defaults exactly
     like :func:`repro.opf.solver.solve_opf`).  Returns one
     :class:`OPFResult` per scenario, in input order.
+
+    ``window`` bounds the lockstep width: the solve starts with the first
+    ``window`` scenarios and *streams* the rest through the active set via
+    the batched solver's retire-and-refill feed — whenever scenarios converge
+    and retire, queued ones are enrolled in their place, so stragglers never
+    shrink the march below the available work.  Per-scenario results are
+    bit-identical for every window size (including the default unbounded
+    one); the scheduler-invariant harness pins that.  Note the window bounds
+    the *march* (per-iteration evaluation/factorisation width), not memory:
+    solver state is allocated for the whole batch up front, so callers
+    bounding footprint should split the sweep into separate calls (as the
+    fleet's micro-batch dispatch does).
     """
     options = options or OPFOptions()
     t0 = time.perf_counter()
@@ -389,24 +402,68 @@ def solve_opf_batch(
 
     preprocess_seconds = (time.perf_counter() - t0) / batch
 
-    mips_results = mips_batch(
-        f_fcn,
-        X0,
-        gh_fcn=gh_fcn,
-        hess_fcn=hess_fcn,
-        jg_template=batched.jg_template,
-        jh_template=batched.jh_template,
-        hess_template=batched.hess_template,
-        xmin=xmin,
-        xmax=xmax,
-        lam0=lam0,
-        mu0=mu0,
-        z0=z0,
-        lam0_mask=lam_mask,
-        mu0_mask=mu_mask,
-        z0_mask=z_mask,
-        options=options.mips,
-    )
+    def rows(start: int, stop: int) -> dict:
+        """Entry arguments for scenario rows ``[start, stop)``."""
+        sl = slice(start, stop)
+        return {
+            "lam0": None if lam0 is None else lam0[sl],
+            "mu0": None if mu0 is None else mu0[sl],
+            "z0": None if z0 is None else z0[sl],
+            "lam0_mask": None if lam0 is None else lam_mask[sl],
+            "mu0_mask": None if mu0 is None else mu_mask[sl],
+            "z0_mask": None if z0 is None else z_mask[sl],
+        }
+
+    if window is not None and window < 1:
+        raise ValueError("window must be positive")
+    if window is not None and window < batch:
+        # Stream the batch through a bounded lockstep window: retired slots
+        # are refilled from the remaining scenarios between iterations.
+        cursor = window
+
+        def feed(free_slots: int) -> Optional[BatchFeedPayload]:
+            nonlocal cursor
+            if cursor >= batch:
+                return None
+            stop = min(cursor + free_slots, batch)
+            payload = BatchFeedPayload(x0=X0[cursor:stop], **rows(cursor, stop))
+            cursor = stop
+            return payload
+
+        mips_results = mips_batch(
+            f_fcn,
+            X0[:window],
+            gh_fcn=gh_fcn,
+            hess_fcn=hess_fcn,
+            jg_template=batched.jg_template,
+            jh_template=batched.jh_template,
+            hess_template=batched.hess_template,
+            xmin=xmin,
+            xmax=xmax,
+            options=options.mips,
+            feed=feed,
+            feed_capacity=batch,
+            **rows(0, window),
+        )
+    else:
+        mips_results = mips_batch(
+            f_fcn,
+            X0,
+            gh_fcn=gh_fcn,
+            hess_fcn=hess_fcn,
+            jg_template=batched.jg_template,
+            jh_template=batched.jh_template,
+            hess_template=batched.hess_template,
+            xmin=xmin,
+            xmax=xmax,
+            lam0=lam0,
+            mu0=mu0,
+            z0=z0,
+            lam0_mask=lam_mask,
+            mu0_mask=mu_mask,
+            z0_mask=z_mask,
+            options=options.mips,
+        )
     return [
         build_opf_result(case, model, r, preprocess_seconds, Pd_mw[i], Qd_mvar[i])
         for i, r in enumerate(mips_results)

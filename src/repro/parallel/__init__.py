@@ -10,9 +10,19 @@ from repro.parallel.pool import (
     run_scenario_sweep,
 )
 from repro.parallel.scenarios import Scenario, ScenarioSet, generate_scenarios
+from repro.parallel.scheduler import (
+    SCHEDULES,
+    MicroBatch,
+    auto_microbatch_size,
+    balanced_assignment,
+    make_microbatches,
+    predicted_cost,
+    topology_key,
+)
 
 __all__ = [
     "EXECUTION_MODES",
+    "SCHEDULES",
     "Scenario",
     "ScenarioSet",
     "generate_scenarios",
@@ -21,6 +31,12 @@ __all__ = [
     "SolverFleet",
     "SweepResult",
     "run_scenario_sweep",
+    "MicroBatch",
+    "auto_microbatch_size",
+    "balanced_assignment",
+    "make_microbatches",
+    "predicted_cost",
+    "topology_key",
     "ClusterModel",
     "calibrate_from_inference",
     "PAPER_WORKER_COUNTS",

@@ -27,6 +27,21 @@ Failed solves can be recovered in-worker through a pluggable fallback policy
 (see :mod:`repro.engine.fallback`); the policy object is shipped with the
 initializer, so recovery costs no extra scatter/gather round trip.  In batch
 mode the (rare) recoveries run per scenario after the lockstep solve.
+
+On top of the execution mode sits the *scheduling policy*
+(:mod:`repro.parallel.scheduler`).  ``schedule="static"`` assigns each worker
+one cost-balanced chunk up front; ``schedule="steal"`` turns the sweep into a
+shared queue of topology-keyed micro-batches that idle workers pull
+dynamically — a straggling scenario keeps only its own micro-batch busy while
+the rest of its former chunk is stolen by the other workers, and the
+in-process fleet streams each topology group through a bounded lockstep
+window whose retired slots are refilled from the queue between iterations.
+:meth:`SolverFleet.solve_many` extends the same machinery across *several*
+sweeps at once: scenarios of different N-1 sweeps that share an outage branch
+merge into one lockstep group (cross-sweep contingency batching).  Scheduling
+only decides where and with whom a scenario is solved; lockstep solves are
+row-independent bit for bit, so per-scenario results are invariant under
+chunking, steal order, worker count and micro-batch size.
 """
 
 from __future__ import annotations
@@ -34,7 +49,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +60,12 @@ from repro.opf.result import OPFResult
 from repro.opf.solver import OPFOptions, solve_opf
 from repro.opf.warmstart import WarmStart
 from repro.parallel.scenarios import Scenario, ScenarioSet
+from repro.parallel.scheduler import (
+    SCHEDULES,
+    balanced_assignment,
+    make_microbatches,
+    topology_key,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import-time cycle guard (engine imports pool)
     from repro.engine.fallback import FallbackPolicy
@@ -130,6 +151,9 @@ class SweepResult:
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
     wall_seconds: float = 0.0
     execution: str = "scenario"
+    #: Scheduling policy that dispatched the sweep (``"static"`` or
+    #: ``"steal"``; :meth:`SolverFleet.solve_many` always records ``"steal"``).
+    schedule: str = "static"
 
     @property
     def n_scenarios(self) -> int:
@@ -274,6 +298,47 @@ def _batched_model_for(state: Dict[str, object], branch: Optional[int], model: O
     return batched
 
 
+def _lockstep_group(
+    state: Dict[str, object],
+    branch: Optional[int],
+    scenarios: Sequence[Scenario],
+    warm_starts: Sequence[Optional[WarmStart]],
+    window: Optional[int] = None,
+) -> List[OPFResult]:
+    """Lockstep first attempts for a *topology-pure* scenario group.
+
+    Every scenario must share ``branch`` (its outage key); warm-start
+    ``µ``/``Z`` are masked on topology changes exactly like the scalar path.
+    ``window`` bounds the lockstep width (retire-and-refill streaming, see
+    :func:`repro.opf.batch.solve_opf_batch`).
+    """
+    options: OPFOptions = state["options"]
+    base_model: OPFModel = state["model"]
+    if branch is None:
+        case, model = state["case"], base_model
+    else:
+        case, model = _outage_case_and_model(state, branch)
+    warms = []
+    for warm in warm_starts:
+        if (
+            warm is not None
+            and branch is not None
+            and model.n_ineq_nonlin != base_model.n_ineq_nonlin
+        ):
+            warm = warm.masked(use_mu=False, use_z=False)
+        warms.append(warm)
+    return solve_opf_batch(
+        case,
+        np.stack([s.Pd for s in scenarios]),
+        np.stack([s.Qd for s in scenarios]),
+        warm_starts=warms,
+        options=options,
+        model=model,
+        batched=_batched_model_for(state, branch, model),
+        window=window,
+    )
+
+
 def _lockstep_first_attempts(
     state: Dict[str, object],
     scenarios: List[Scenario],
@@ -288,8 +353,6 @@ def _lockstep_first_attempts(
     the batch machinery).  Warm-start ``µ``/``Z`` are masked on topology
     changes exactly like the scalar path.
     """
-    options: OPFOptions = state["options"]
-    base_model: OPFModel = state["model"]
     results: List[Optional[OPFResult]] = [None] * len(scenarios)
     groups: Dict[Optional[int], List[int]] = {}
     for pos, scenario in enumerate(scenarios):
@@ -299,28 +362,11 @@ def _lockstep_first_attempts(
             pos = positions[0]
             results[pos] = _solve_scenario(state, scenarios[pos], warm_starts[pos])
             continue
-        if branch is None:
-            case, model = state["case"], base_model
-        else:
-            case, model = _outage_case_and_model(state, branch)
-        warms = []
-        for pos in positions:
-            warm = warm_starts[pos]
-            if (
-                warm is not None
-                and branch is not None
-                and model.n_ineq_nonlin != base_model.n_ineq_nonlin
-            ):
-                warm = warm.masked(use_mu=False, use_z=False)
-            warms.append(warm)
-        batch_results = solve_opf_batch(
-            case,
-            np.stack([scenarios[pos].Pd for pos in positions]),
-            np.stack([scenarios[pos].Qd for pos in positions]),
-            warm_starts=warms,
-            options=options,
-            model=model,
-            batched=_batched_model_for(state, branch, model),
+        batch_results = _lockstep_group(
+            state,
+            branch,
+            [scenarios[pos] for pos in positions],
+            [warm_starts[pos] for pos in positions],
         )
         for pos, result in zip(positions, batch_results):
             results[pos] = result
@@ -413,6 +459,60 @@ def _solve_batch(args) -> List[ScenarioOutcome]:
     return _solve_batch_in_state(_WORKER_STATE, scenarios, warm_starts, worker_id)
 
 
+def _solve_keyed_group_in_state(
+    state: Dict[str, object],
+    key: Optional[int],
+    scenarios: List[Scenario],
+    warm_starts: List[Optional[WarmStart]],
+    worker_id: int,
+    window: Optional[int] = None,
+) -> List[ScenarioOutcome]:
+    """Solve a topology-pure group on the elastic (steal/grouped) paths.
+
+    Unlike the legacy static-chunk path, *every* group marches in lockstep in
+    batch mode — singletons included — so per-scenario results are one
+    canonical set regardless of how the scheduler happened to cut the queue
+    into micro-batches.  Fallback recovery stays per scenario.
+    """
+    if state.get("execution") == "batch":
+        firsts = _lockstep_group(state, key, scenarios, warm_starts, window=window)
+        return [
+            _outcome_for(state, scenario, warm, worker_id, first=first)
+            for scenario, warm, first in zip(scenarios, warm_starts, firsts)
+        ]
+    return [
+        _outcome_for(state, scenario, warm, worker_id)
+        for scenario, warm in zip(scenarios, warm_starts)
+    ]
+
+
+def _worker_identity() -> int:
+    """This process's 1-based pool-worker index (0 in the parent process).
+
+    Observability only (fills ``ScenarioOutcome.worker``), so the undocumented
+    ``Process._identity`` is read defensively — a runtime without it simply
+    reports worker 0 rather than failing the sweep.
+    """
+    identity = getattr(mp.current_process(), "_identity", None) or ()
+    return int(identity[0]) if identity else 0
+
+
+def _solve_microbatch(args) -> Tuple[Tuple[int, ...], List[ScenarioOutcome]]:
+    """Steal-mode worker entry: one micro-batch pulled from the shared queue.
+
+    Whichever worker is idle picks the task up (``imap_unordered`` with
+    ``chunksize=1`` keeps the pool's internal task queue as the shared work
+    queue), so remaining micro-batches are effectively stolen from busy
+    workers.  Returns the global positions alongside the outcomes so the
+    parent can reassemble results regardless of completion order.
+    """
+    positions, key, scenarios, warm_starts = args
+    outcomes = _solve_keyed_group_in_state(
+        _WORKER_STATE, key, scenarios, warm_starts, _worker_identity()
+    )
+    return positions, outcomes
+
+
 # ------------------------------------------------------------------------ fleet
 class SolverFleet:
     """A persistent fleet of solver workers for one case.
@@ -428,6 +528,17 @@ class SolverFleet:
     The modes compose: a multi-worker batch fleet runs one lockstep batch per
     worker process.
 
+    ``schedule`` selects how work reaches the workers.  ``"static"`` (the
+    default) gives each worker one chunk up front, balanced by predicted
+    scenario cost so a hot chunk cannot serialise the sweep; ``"steal"`` cuts
+    the sweep into topology-keyed micro-batches (``microbatch`` scenarios
+    each, auto-sized when omitted) that idle workers pull from a shared
+    queue, and streams in-process groups through a retire-and-refill lockstep
+    window.  Scheduling never changes *how* a scenario is solved within a
+    policy: elastic results are invariant under steal order, worker count and
+    micro-batch size (the static batch path keeps its legacy scalar shortcut
+    for one-off topologies, so it is pinned separately).
+
     Use as a context manager, or call :meth:`close` when done.
     """
 
@@ -440,17 +551,25 @@ class SolverFleet:
         collect_solutions: bool = False,
         model: Optional[OPFModel] = None,
         execution: str = "scenario",
+        schedule: str = "static",
+        microbatch: Optional[int] = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
         if execution not in EXECUTION_MODES:
             raise ValueError(f"execution must be one of {EXECUTION_MODES}")
+        if schedule not in SCHEDULES:
+            raise ValueError(f"schedule must be one of {SCHEDULES}")
+        if microbatch is not None and microbatch < 1:
+            raise ValueError("microbatch must be positive")
         self.case = case
         self.options = options or OPFOptions()
         self.n_workers = n_workers
         self.fallback = fallback
         self.collect_solutions = collect_solutions
         self.execution = execution
+        self.schedule = schedule
+        self.microbatch = microbatch
         self._pool = None
         self._state: Optional[Dict[str, object]] = None
         if n_workers == 1:
@@ -483,25 +602,12 @@ class SolverFleet:
         if len(warm_starts) != len(scenario_set):
             raise ValueError("warm_starts must have one entry per scenario")
 
-        chunks = scenario_set.partition(self.n_workers)
-        jobs = []
-        offset = 0
-        for worker_id, chunk in enumerate(chunks):
-            warm_chunk = warm_starts[offset : offset + len(chunk)]
-            offset += len(chunk)
-            if len(chunk) > 0:
-                jobs.append((list(chunk), warm_chunk, worker_id))
-
+        scenarios = list(scenario_set)
         start = time.perf_counter()
-        if self._pool is None:
-            if self._state is None:
-                raise RuntimeError("fleet is closed")
-            results = [
-                _solve_batch_in_state(self._state, scenarios, warm_chunk, worker_id)
-                for scenarios, warm_chunk, worker_id in jobs
-            ]
+        if self.schedule == "steal":
+            outcomes = self._dispatch_elastic(scenarios, list(warm_starts))
         else:
-            results = self._pool.map(_solve_batch, jobs)
+            outcomes = self._dispatch_static(scenarios, list(warm_starts))
         wall = time.perf_counter() - start
 
         sweep = SweepResult(
@@ -509,11 +615,173 @@ class SolverFleet:
             n_workers=self.n_workers,
             wall_seconds=wall,
             execution=self.execution,
+            schedule=self.schedule,
         )
-        for batch in results:
-            sweep.outcomes.extend(batch)
+        sweep.outcomes.extend(outcomes)
         sweep.outcomes.sort(key=lambda o: o.scenario_id)
         return sweep
+
+    def solve_many(
+        self,
+        scenario_sets: Sequence[ScenarioSet],
+        warm_starts: Optional[Sequence[Optional[List[Optional[WarmStart]]]]] = None,
+    ) -> List[SweepResult]:
+        """Solve several sweeps at once with cross-sweep contingency batching.
+
+        The sweeps' scenarios are merged into one elastic dispatch, so
+        scenarios of *different* sweeps that share an outage branch (or the
+        base network) land in the same lockstep group — outage-heavy SC-ACOPF
+        screening no longer fragments into tiny per-sweep per-branch groups
+        that forfeit the batch win.  Always scheduled elastically (micro-batch
+        queue with stealing) whatever the fleet's ``schedule`` setting;
+        per-scenario results are bit-identical to solving each sweep
+        separately on an elastic fleet.
+
+        ``warm_starts`` is an optional per-sweep sequence of per-scenario
+        lists (``None`` sweeps mean all-cold).  Returns one
+        :class:`SweepResult` per input sweep (outcomes sorted by scenario
+        id); each records the *joint* dispatch wall, so aggregate cost by
+        summing per-scenario ``solve_seconds``, not walls across sweeps.
+        """
+        sets = list(scenario_sets)
+        if warm_starts is None:
+            warm_starts = [None] * len(sets)
+        if len(warm_starts) != len(sets):
+            raise ValueError("warm_starts must have one entry per scenario set")
+        flat_scenarios: List[Scenario] = []
+        flat_warms: List[Optional[WarmStart]] = []
+        origins: List[int] = []
+        for si, scenario_set in enumerate(sets):
+            warm_list = warm_starts[si]
+            if warm_list is None:
+                warm_list = [None] * len(scenario_set)
+            if len(warm_list) != len(scenario_set):
+                raise ValueError(f"warm_starts[{si}] must have one entry per scenario")
+            for scenario, warm in zip(scenario_set, warm_list):
+                flat_scenarios.append(scenario)
+                flat_warms.append(warm)
+                origins.append(si)
+
+        start = time.perf_counter()
+        outcomes = self._dispatch_elastic(flat_scenarios, flat_warms)
+        wall = time.perf_counter() - start
+
+        sweeps = [
+            SweepResult(
+                case_name=self.case.name,
+                n_workers=self.n_workers,
+                wall_seconds=wall,
+                execution=self.execution,
+                schedule="steal",
+            )
+            for _ in sets
+        ]
+        for outcome, origin in zip(outcomes, origins):
+            sweeps[origin].outcomes.append(outcome)
+        for sweep in sweeps:
+            sweep.outcomes.sort(key=lambda o: o.scenario_id)
+        return sweeps
+
+    # ------------------------------------------------------------- dispatchers
+    def _require_state(self) -> Dict[str, object]:
+        if self._state is None:
+            raise RuntimeError("fleet is closed")
+        return self._state
+
+    def _dispatch_static(
+        self,
+        scenarios: List[Scenario],
+        warm_starts: List[Optional[WarmStart]],
+    ) -> List[ScenarioOutcome]:
+        """Cost-balanced fixed chunks, one per worker (the legacy scatter).
+
+        Chunks are balanced by :func:`~repro.parallel.scheduler.predicted_cost`
+        instead of the seed's count-equal split, so a single expensive
+        (cold / outage) scenario is paired with fewer cheap ones rather than
+        serialising its chunk.
+        """
+        assignment = balanced_assignment(scenarios, warm_starts, self.n_workers)
+        jobs = []
+        for worker_id, positions in enumerate(assignment):
+            if positions:
+                jobs.append(
+                    (
+                        [scenarios[i] for i in positions],
+                        [warm_starts[i] for i in positions],
+                        worker_id,
+                    )
+                )
+        if self._pool is None:
+            results = [
+                _solve_batch_in_state(self._require_state(), chunk, warm_chunk, worker_id)
+                for chunk, warm_chunk, worker_id in jobs
+            ]
+        else:
+            results = self._pool.map(_solve_batch, jobs)
+        outcomes: List[ScenarioOutcome] = []
+        for batch in results:
+            outcomes.extend(batch)
+        return outcomes
+
+    def _dispatch_elastic(
+        self,
+        scenarios: List[Scenario],
+        warm_starts: List[Optional[WarmStart]],
+    ) -> List[ScenarioOutcome]:
+        """Shared micro-batch queue with stealing; outcomes returned by position.
+
+        Multi-worker fleets feed the topology-keyed micro-batches through
+        ``imap_unordered`` with ``chunksize=1`` — the pool's internal task
+        queue *is* the shared work queue, and whichever worker drains its
+        current micro-batch first pulls (steals) the next one.  The
+        in-process fleet instead streams each topology group through a
+        lockstep window of one micro-batch, refilling retired slots from the
+        queue between iterations (see :func:`repro.opf.batch.solve_opf_batch`).
+        """
+        outcomes: List[Optional[ScenarioOutcome]] = [None] * len(scenarios)
+        if self._pool is None:
+            state = self._require_state()
+            # With a single in-process worker there is nobody to steal from,
+            # so micro-batch boundaries are irrelevant: solve whole topology
+            # groups, where a bounded lockstep window only caps how many
+            # scenarios march per iteration — default to unbounded (maximum
+            # amortisation) and let an explicit ``microbatch`` opt into
+            # bounded retire-and-refill streaming.  Results are
+            # window-invariant bit for bit either way.
+            window = self.microbatch
+            grouped: Dict[Optional[int], List[int]] = {}
+            for position, scenario in enumerate(scenarios):
+                grouped.setdefault(topology_key(scenario), []).append(position)
+            for key, positions in grouped.items():
+                outs = _solve_keyed_group_in_state(
+                    state,
+                    key,
+                    [scenarios[i] for i in positions],
+                    [warm_starts[i] for i in positions],
+                    0,
+                    window=window,
+                )
+                for position, outcome in zip(positions, outs):
+                    outcomes[position] = outcome
+        else:
+            microbatches = make_microbatches(
+                scenarios, microbatch=self.microbatch, n_workers=self.n_workers
+            )
+            tasks = [
+                (
+                    microbatch.positions,
+                    microbatch.key,
+                    [scenarios[i] for i in microbatch.positions],
+                    [warm_starts[i] for i in microbatch.positions],
+                )
+                for microbatch in microbatches
+            ]
+            for positions, outs in self._pool.imap_unordered(
+                _solve_microbatch, tasks, chunksize=1
+            ):
+                for position, outcome in zip(positions, outs):
+                    outcomes[position] = outcome
+        return outcomes  # type: ignore[return-value]
 
     # ---------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -541,6 +809,8 @@ def run_scenario_sweep(
     collect_solutions: bool = False,
     model: Optional[OPFModel] = None,
     execution: str = "scenario",
+    schedule: str = "static",
+    microbatch: Optional[int] = None,
 ) -> SweepResult:
     """Solve every scenario of ``scenario_set`` using a one-shot fleet.
 
@@ -557,5 +827,7 @@ def run_scenario_sweep(
         collect_solutions=collect_solutions,
         model=model,
         execution=execution,
+        schedule=schedule,
+        microbatch=microbatch,
     ) as fleet:
         return fleet.solve(scenario_set, warm_starts)

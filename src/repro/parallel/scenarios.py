@@ -55,15 +55,6 @@ class ScenarioSet:
     def __getitem__(self, index: int) -> Scenario:
         return self.scenarios[index]
 
-    def partition(self, n_parts: int) -> List["ScenarioSet"]:
-        """Split into ``n_parts`` near-equal chunks (the per-worker batches)."""
-        if n_parts < 1:
-            raise ValueError("n_parts must be positive")
-        chunks = np.array_split(np.arange(len(self.scenarios)), n_parts)
-        return [
-            ScenarioSet(self.case_name, [self.scenarios[i] for i in chunk]) for chunk in chunks
-        ]
-
     def feature_matrix(self, base_mva: float) -> np.ndarray:
         """Stacked model inputs for batched inference."""
         return np.vstack([s.feature_vector(base_mva) for s in self.scenarios])

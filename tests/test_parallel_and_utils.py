@@ -36,11 +36,14 @@ def test_generate_scenarios_with_contingencies(case9_fixture):
     assert case9_fixture.branch.status.sum() == 9
 
 
-def test_scenario_partition_covers_everything(case9_fixture):
+def test_scenario_chunking_covers_everything(case9_fixture):
+    from repro.parallel import balanced_assignment
+
     scenarios = generate_scenarios(case9_fixture, 11, seed=2)
-    parts = scenarios.partition(3)
-    assert sum(len(p) for p in parts) == 11
-    assert max(len(p) for p in parts) - min(len(p) for p in parts) <= 1
+    chunks = balanced_assignment(list(scenarios), [None] * 11, 3)
+    assert sorted(i for chunk in chunks for i in chunk) == list(range(11))
+    # Equal predicted costs degrade to a near-equal count split.
+    assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
     features = scenarios.feature_matrix(case9_fixture.base_mva)
     assert features.shape == (11, 18)
 
