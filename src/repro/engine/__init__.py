@@ -2,8 +2,11 @@
 
 from repro.engine.fallback import (
     FALLBACK_POLICIES,
+    BudgetedFallback,
+    CircuitBreaker,
     ColdRestartFallback,
     FallbackPolicy,
+    HealthWindow,
     NoFallback,
     RelaxedWarmRetryFallback,
     get_fallback_policy,
@@ -12,6 +15,7 @@ from repro.engine.records import OnlineEvaluation, OnlineRecord
 from repro.engine.engine import PERSISTED_FALLBACK, WarmStartEngine
 from repro.engine.artifact import (
     ARTIFACT_VERSION,
+    ArtifactCorruptError,
     ArtifactError,
     ArtifactMismatchError,
     case_fingerprint,
@@ -27,12 +31,16 @@ __all__ = [
     "FallbackPolicy",
     "ColdRestartFallback",
     "RelaxedWarmRetryFallback",
+    "BudgetedFallback",
     "NoFallback",
     "FALLBACK_POLICIES",
     "get_fallback_policy",
+    "HealthWindow",
+    "CircuitBreaker",
     "ARTIFACT_VERSION",
     "ArtifactError",
     "ArtifactMismatchError",
+    "ArtifactCorruptError",
     "case_fingerprint",
     "save_artifact",
     "load_artifact",

@@ -33,7 +33,7 @@ from repro.mtl.config import MTLConfig
 from repro.mtl.model import SmartPGSimMTL, TaskDimensions
 from repro.mtl.normalization import DatasetNormalizer, MinMaxScaler
 from repro.mtl.separate import SeparateTaskNetworks
-from repro.nn.serialization import load_bundle, save_bundle
+from repro.nn.serialization import BundleIntegrityError, load_bundle, save_bundle
 from repro.opf.model import OPFModel
 from repro.opf.solver import OPFOptions
 
@@ -54,6 +54,16 @@ class ArtifactError(ValueError):
 
 class ArtifactMismatchError(ArtifactError):
     """The artifact was trained on a different case than the one supplied."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """The artifact file is damaged (bad archive or checksum mismatch).
+
+    Distinct from :class:`ArtifactMismatchError`: a *mismatched* artifact is a
+    healthy file for the wrong case, a *corrupt* one failed its integrity
+    checks (zip structure, zlib stream, or the bundle's SHA-256 content
+    checksum) and should be re-fetched or regenerated.
+    """
 
 
 def case_fingerprint(case: Case) -> str:
@@ -144,6 +154,8 @@ def load_artifact(
     """
     try:
         arrays, meta = load_bundle(path)
+    except BundleIntegrityError as exc:
+        raise ArtifactCorruptError(f"engine artifact {path} is corrupt: {exc}") from exc
     except ValueError as exc:
         raise ArtifactError(f"cannot read engine artifact {path}: {exc}") from exc
 

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.data.dataset import OPFDataset
-from repro.engine.fallback import FallbackPolicy, get_fallback_policy
+from repro.engine.fallback import CircuitBreaker, FallbackPolicy, get_fallback_policy
 from repro.engine.records import OnlineEvaluation, OnlineRecord
 from repro.grid.components import Case
 from repro.mtl.config import MTLConfig
@@ -43,6 +43,7 @@ from repro.opf.warmstart import WarmStart
 from repro.parallel.pool import EXECUTION_MODES, SolverFleet, SweepResult
 from repro.parallel.scenarios import Scenario, ScenarioSet
 from repro.parallel.scheduler import SCHEDULES
+from repro.testing.faults import FaultPlan
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("engine")
@@ -68,6 +69,9 @@ class WarmStartEngine:
         kkt_solver: Optional[str] = None,
         schedule: str = "static",
         microbatch: Optional[int] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        faults: Optional[FaultPlan] = None,
+        crash_retries: int = 1,
     ):
         self.case = case
         self.network = network
@@ -100,6 +104,14 @@ class WarmStartEngine:
         self.schedule = schedule
         #: Micro-batch size for the elastic scheduler (auto-sized when None).
         self.microbatch = microbatch
+        #: Optional health-aware circuit breaker over the warm-start path.
+        #: While open, new requests skip inference and go straight to the
+        #: relaxed/cold path; per-request outcomes feed its health window.
+        self.breaker = breaker
+        #: Optional deterministic fault plan injected into fleet workers
+        #: (testing only) and the crash-retry budget handed to fleets.
+        self.faults = faults
+        self.crash_retries = crash_retries
         #: Live fleets keyed by worker count; created lazily, kept across calls.
         self._fleets: Dict[int, SolverFleet] = {}
 
@@ -155,6 +167,8 @@ class WarmStartEngine:
                 execution=self.execution,
                 schedule=self.schedule,
                 microbatch=self.microbatch,
+                faults=self.faults,
+                crash_retries=self.crash_retries,
             )
             self._fleets[n_workers] = fleet
             LOGGER.info(
@@ -166,13 +180,48 @@ class WarmStartEngine:
             )
         return fleet
 
-    def serve(self, scenarios: ScenarioSet, n_workers: int = 1) -> SweepResult:
-        """Serve a batch of scenarios: batched inference + fleet dispatch."""
-        warm_starts = self.warm_starts_for(scenarios.feature_matrix(self.case.base_mva))
-        return self.fleet(n_workers).solve(scenarios, warm_starts)
+    def serve(
+        self,
+        scenarios: ScenarioSet,
+        n_workers: int = 1,
+        deadline_seconds: Optional[float] = None,
+    ) -> SweepResult:
+        """Serve a batch of scenarios: batched inference + fleet dispatch.
+
+        ``deadline_seconds`` bounds each scenario's wall time; expired solves
+        retire with ``timed_out`` outcomes instead of raising.  When the
+        engine's :class:`~repro.engine.fallback.CircuitBreaker` is open, the
+        request skips inference entirely and is served from the degraded
+        (cold-start + fallback) path.  Faults injected via the engine's
+        :class:`~repro.testing.faults.FaultPlan` never escape this method —
+        they surface as structured failed outcomes in the sweep.
+        """
+        degraded = self.breaker is not None and not self.breaker.allow_warm()
+        if degraded:
+            warm_starts = None
+            LOGGER.info(
+                "%s: circuit breaker open — serving %d scenario(s) on the degraded path",
+                self.case.name,
+                len(scenarios),
+            )
+        else:
+            warm_starts = self.warm_starts_for(scenarios.feature_matrix(self.case.base_mva))
+        sweep = self.fleet(n_workers).solve(
+            scenarios, warm_starts, deadline_seconds=deadline_seconds
+        )
+        if self.breaker is not None:
+            # Feed outcomes in scenario order so the breaker's count-based
+            # state machine is deterministic regardless of worker scheduling.
+            for outcome in sorted(sweep.outcomes, key=lambda o: o.scenario_id):
+                self.breaker.record(outcome.used_fallback)
+        return sweep
 
     def serve_loads(
-        self, Pd_mw: np.ndarray, Qd_mvar: np.ndarray, n_workers: int = 1
+        self,
+        Pd_mw: np.ndarray,
+        Qd_mvar: np.ndarray,
+        n_workers: int = 1,
+        deadline_seconds: Optional[float] = None,
     ) -> SweepResult:
         """Serve raw per-bus load matrices (one row per scenario, MW/MVAr)."""
         Pd_mw = np.atleast_2d(np.asarray(Pd_mw, dtype=float))
@@ -186,7 +235,7 @@ class WarmStartEngine:
             self.case.name,
             [Scenario(i, Pd_mw[i], Qd_mvar[i]) for i in range(Pd_mw.shape[0])],
         )
-        return self.serve(scenarios, n_workers=n_workers)
+        return self.serve(scenarios, n_workers=n_workers, deadline_seconds=deadline_seconds)
 
     # --------------------------------------------------------------- evaluation
     def evaluate(
@@ -194,6 +243,7 @@ class WarmStartEngine:
         dataset: OPFDataset,
         max_problems: Optional[int] = None,
         n_workers: int = 1,
+        deadline_seconds: Optional[float] = None,
     ) -> OnlineEvaluation:
         """Warm-start every problem of ``dataset`` and aggregate the outcomes.
 
@@ -215,8 +265,11 @@ class WarmStartEngine:
             self.case.name,
             [Scenario(i, dataset.Pd_mw[i], dataset.Qd_mw[i]) for i in range(n)],
         )
-        sweep = self.fleet(n_workers).solve(scenarios, warm_starts)
+        sweep = self.fleet(n_workers).solve(
+            scenarios, warm_starts, deadline_seconds=deadline_seconds
+        )
 
+        trips = 0 if self.breaker is None else self.breaker.trips
         evaluation = OnlineEvaluation(case_name=self.case.name)
         for outcome in sweep.outcomes:
             i = outcome.scenario_id
@@ -237,6 +290,9 @@ class WarmStartEngine:
                     fallback_solve_seconds=outcome.fallback_seconds,
                     cost_fallback=outcome.objective_fallback,
                     solver_phase_seconds=dict(outcome.phase_seconds),
+                    retries=outcome.retries,
+                    timed_out=outcome.timed_out,
+                    fallback_trips=trips,
                 )
             )
         return evaluation

@@ -32,6 +32,13 @@ class OnlineRecord:
     both), ``cost_fallback`` the one that produced the final answer.
     ``solver_phase_seconds`` carries the per-phase split (callback evaluation
     / KKT assembly / factorisation / back substitution) of the final solve.
+
+    The robustness telemetry fields describe the serving runtime rather than
+    the numerics: ``retries`` counts how often the scenario's task was
+    re-dispatched after a worker crash, ``timed_out`` flags a solve retired by
+    a wall deadline, and ``fallback_trips`` snapshots the engine's cumulative
+    circuit-breaker trip count at the time the record was made (0 when the
+    engine runs without a breaker).
     """
 
     scenario_id: int
@@ -49,6 +56,9 @@ class OnlineRecord:
     fallback_solve_seconds: float = 0.0
     cost_fallback: float = float("nan")
     solver_phase_seconds: Dict[str, float] = field(default_factory=dict)
+    retries: int = 0
+    timed_out: bool = False
+    fallback_trips: int = 0
 
     # ----------------------------------------------------------- derived views
     @property

@@ -117,6 +117,11 @@ class BatchFeedPayload:
     lam0_mask: Optional[np.ndarray] = None
     mu0_mask: Optional[np.ndarray] = None
     z0_mask: Optional[np.ndarray] = None
+    #: Optional per-row absolute wall deadlines (``time.monotonic()`` clock);
+    #: ``None`` entries (NaN/inf) mean unbounded.  A row whose deadline
+    #: expires retires with ``timed_out`` between iterations, exactly like a
+    #: convergence retirement — its lockstep neighbours are not perturbed.
+    deadline: Optional[np.ndarray] = None
 
 
 #: Retire-and-refill hook: called with the number of free lockstep slots,
@@ -301,6 +306,7 @@ def mips_batch(
     options: Optional[MIPSOptions] = None,
     feed: Optional[BatchFeedFn] = None,
     feed_capacity: Optional[int] = None,
+    deadline: Optional[object] = None,
 ) -> List[MIPSResult]:
     """Solve ``B`` same-structure NLPs in lockstep; one result per scenario.
 
@@ -322,6 +328,15 @@ def mips_batch(
     ``feed_capacity`` (required with ``feed``) bounds the total number of
     scenarios the call may enroll; per-scenario iteration counts, histories
     and wall shares are kept relative to each scenario's own enrollment.
+
+    **Deadlines.**  ``deadline`` is an absolute wall deadline on the
+    ``time.monotonic()`` clock — a scalar applying to every initial-batch row
+    or a ``(B,)`` vector of per-row deadlines (fed scenarios carry theirs in
+    :attr:`BatchFeedPayload.deadline`); ``options.max_wall_seconds`` is the
+    *relative* per-scenario budget measured from each row's own enrollment.
+    Both are checked cooperatively between iterations, and an expired row
+    retires with ``timed_out`` set through exactly the retirement path a
+    converged row takes — its lockstep neighbours are bitwise unperturbed.
 
     Returns a list of per-scenario :class:`MIPSResult` in enrollment order
     (batch order, then fed scenarios in feed order).
@@ -355,6 +370,14 @@ def mips_batch(
         raise ValueError("mips_batch requires hess_fcn and hess_template")
     if gh_fcn is not None and (jg_template is None or jh_template is None):
         raise ValueError("jg_template/jh_template are required with gh_fcn")
+    if deadline is None:
+        entry_deadline = None
+    else:
+        entry_deadline = np.asarray(deadline, dtype=float)
+        if entry_deadline.ndim == 0:
+            entry_deadline = np.full(batch, float(entry_deadline))
+        elif entry_deadline.shape != (batch,):
+            raise ValueError("deadline must be a scalar or a (B,) vector")
 
     bounds = _BoundHandler(nx, xmin, xmax, opt.bound_eq_tol)
     eq_idx, ub_idx, lb_idx = bounds.eq_idx, bounds.ub_idx, bounds.lb_idx
@@ -425,6 +448,8 @@ def mips_batch(
     start_it = np.zeros(capacity, dtype=int)
     #: Wall clock at each scenario's enrollment (its ``elapsed_seconds`` zero).
     enroll_clock = np.zeros(capacity)
+    #: Per-row absolute wall deadline (``time.monotonic()`` clock; +inf = none).
+    row_deadline = np.full(capacity, np.inf)
     n_enrolled = 0
     it = 0
 
@@ -488,7 +513,7 @@ def mips_batch(
         cost = np.abs(F[idx] - F0a) / (1.0 + np.abs(F0a))
         conds[idx] = np.stack([feas, grad, comp, cost], axis=1)
 
-    def finalize(b: int, message: str, converged: bool) -> None:
+    def finalize(b: int, message: str, converged: bool, timed_out: bool = False) -> None:
         active[b] = False
         if reg_counts[b]:
             LOGGER.warning(
@@ -511,6 +536,7 @@ def mips_batch(
             elapsed_seconds=time.perf_counter() - enroll_clock[b],
             phase_seconds={name: float(phase[name][b]) for name in _PHASES},
             kkt_regularizations=int(reg_counts[b]),
+            timed_out=timed_out,
             wall_share_seconds=float(share[b]),
         )
 
@@ -536,6 +562,11 @@ def mips_batch(
         n_enrolled += k
         enroll_clock[new] = t0
         start_it[new] = it
+        if payload.deadline is not None:
+            dl = np.asarray(payload.deadline, dtype=float)
+            if dl.shape != (k,):
+                raise ValueError("fed deadline must have one entry per enrolled row")
+            row_deadline[new] = np.where(np.isnan(dl), np.inf, dl)
         active[new] = True
         if not use_blocks:
             solvers.extend(
@@ -619,6 +650,7 @@ def mips_batch(
             lam0_mask=lam0_mask,
             mu0_mask=mu0_mask,
             z0_mask=z0_mask,
+            deadline=entry_deadline,
         )
     )
     feed_drained = feed is None
@@ -650,8 +682,28 @@ def mips_batch(
                     )
                 enroll(payload)
                 free = width - int(np.count_nonzero(active))
+        # Cooperative wall-deadline / per-row-budget check.  An expired row
+        # retires through exactly the retirement path a converged row takes —
+        # its state is simply dropped from the active set — so the lockstep
+        # trajectories of its neighbours are bitwise unperturbed.
+        rows = np.flatnonzero(active)
+        if rows.size and (
+            opt.max_wall_seconds is not None or bool((row_deadline[rows] < np.inf).any())
+        ):
+            now_mono = time.monotonic()
+            now_perf = time.perf_counter()
+            for b in rows:
+                if row_deadline[b] <= now_mono or (
+                    opt.max_wall_seconds is not None
+                    and now_perf - enroll_clock[b] >= opt.max_wall_seconds
+                ):
+                    finalize(int(b), "wall deadline exceeded", False, timed_out=True)
         idx = np.flatnonzero(active)
         if idx.size == 0:
+            if not feed_drained:
+                # Deadline retirements just freed the whole window; go refill
+                # before concluding the queue is empty.
+                continue
             break
         it += 1
         iterations[idx] = it - start_it[idx]

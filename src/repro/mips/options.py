@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,12 @@ class MIPSOptions:
     #: steps on ill-conditioned warm starts.  0 (the default) disables
     #: refinement and reproduces the historic behaviour exactly.
     kkt_refine_steps: int = 0
+    #: Per-solve wall budget in seconds (``None`` = unbounded).  Checked
+    #: cooperatively between iterations; an exhausted budget terminates the
+    #: solve with ``timed_out`` set instead of raising.  In lockstep batch
+    #: solves the budget is *per scenario*, measured from each scenario's own
+    #: enrollment — the row-level counterpart of the per-row ``max_it``.
+    max_wall_seconds: Optional[float] = None
     #: Record per-iteration history (needed for Fig. 10 traces).
     record_history: bool = True
     #: Print one line per iteration via the ``repro.mips`` logger.
@@ -85,3 +92,5 @@ class MIPSOptions:
             raise ValueError("kkt_max_retries must be non-negative")
         if self.kkt_refine_steps < 0:
             raise ValueError("kkt_refine_steps must be non-negative")
+        if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
+            raise ValueError("max_wall_seconds must be positive (or None)")

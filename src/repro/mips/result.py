@@ -91,6 +91,10 @@ class MIPSResult:
     #: regularisation (0 for a well-posed solve; non-zero flags
     #: ill-conditioning that the seed solver would have failed hard on).
     kkt_regularizations: int = 0
+    #: True when the solve was terminated by a wall deadline or per-solve
+    #: wall budget (``message`` carries the detail) — a resource outcome, not
+    #: a numerical failure.
+    timed_out: bool = False
     #: This solve's *additive* share of wall time.  ``None`` for scalar solves
     #: (the share is simply ``elapsed_seconds``); lockstep batch solves set it
     #: to the sum of each iteration's wall time divided by the number of
@@ -109,6 +113,10 @@ class MIPSResult:
         """MATPOWER-style exit flag: 1 converged, 0 iteration limit, -1 failed."""
         if self.converged:
             return 1
+        if self.timed_out:
+            # A budget outcome, like the iteration limit: the iterates are
+            # fine, the solver just ran out of allotted resources.
+            return 0
         return 0 if "iteration limit" in self.message else -1
 
     def final_conditions(self) -> Optional[IterationRecord]:

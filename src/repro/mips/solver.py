@@ -304,6 +304,7 @@ def mips(
     mu0: Optional[np.ndarray] = None,
     z0: Optional[np.ndarray] = None,
     options: Optional[MIPSOptions] = None,
+    deadline: Optional[float] = None,
 ) -> MIPSResult:
     """Solve a constrained nonlinear program with the MIPS interior-point method.
 
@@ -333,6 +334,12 @@ def mips(
     options:
         :class:`MIPSOptions`; defaults match MATPOWER.  ``kkt_solver``
         selects the linear-solver backend for the Newton systems.
+    deadline:
+        Optional absolute wall deadline (``time.monotonic()`` clock).
+        Checked cooperatively between iterations; an expired deadline ends
+        the solve with ``timed_out=True`` instead of raising, so serving
+        requests degrade into structured outcomes.  Composes with the
+        relative per-solve budget ``options.max_wall_seconds``.
     """
     opt = options or MIPSOptions()
     opt.validate()
@@ -452,7 +459,26 @@ def mips(
             )
         )
 
+    timed_out = False
+
+    def _deadline_expired() -> bool:
+        if deadline is not None and time.monotonic() >= deadline:
+            return True
+        if (
+            opt.max_wall_seconds is not None
+            and time.perf_counter() - start_time >= opt.max_wall_seconds
+        ):
+            return True
+        return False
+
     while not converged and iterations < opt.max_it:
+        # Cooperative wall-budget check, between iterations only: the iterate
+        # is always left in a consistent state and the numerical trajectory
+        # up to the cut-off is untouched.
+        if _deadline_expired():
+            timed_out = True
+            message = "wall deadline exceeded"
+            break
         iterations += 1
 
         # ------------------------------------------------------ Newton system
@@ -614,4 +640,5 @@ def mips(
         elapsed_seconds=elapsed,
         phase_seconds=dict(phase),
         kkt_regularizations=kkt_solver.regularizations,
+        timed_out=timed_out,
     )

@@ -321,6 +321,7 @@ def solve_opf_batch(
     model: Optional[OPFModel] = None,
     batched: Optional[BatchedOPFModel] = None,
     window: Optional[int] = None,
+    deadline: Optional[object] = None,
 ) -> List[OPFResult]:
     """Solve a batch of load scenarios of one case in lockstep.
 
@@ -341,6 +342,12 @@ def solve_opf_batch(
     solver state is allocated for the whole batch up front, so callers
     bounding footprint should split the sweep into separate calls (as the
     fleet's micro-batch dispatch does).
+
+    ``deadline`` is an absolute wall deadline on the ``time.monotonic()``
+    clock — a scalar shared by every scenario or a ``(B,)`` vector of per-row
+    deadlines.  Expired rows retire with ``timed_out`` between iterations
+    through the ordinary retirement path, leaving the trajectories of their
+    lockstep neighbours bitwise unchanged.
     """
     options = options or OPFOptions()
     t0 = time.perf_counter()
@@ -388,6 +395,15 @@ def solve_opf_batch(
     mu0, mu_mask = _warm_component(warm_starts, "mu", n_ineq)
     z0, z_mask = _warm_component(warm_starts, "z", n_ineq)
 
+    if deadline is None:
+        deadlines = None
+    else:
+        deadlines = np.asarray(deadline, dtype=float)
+        if deadlines.ndim == 0:
+            deadlines = np.full(batch, float(deadlines))
+        elif deadlines.shape != (batch,):
+            raise ValueError("deadline must be a scalar or have one entry per scenario")
+
     Pd_pu = Pd_mw / case.base_mva
     Qd_pu = Qd_mvar / case.base_mva
 
@@ -412,6 +428,7 @@ def solve_opf_batch(
             "lam0_mask": None if lam0 is None else lam_mask[sl],
             "mu0_mask": None if mu0 is None else mu_mask[sl],
             "z0_mask": None if z0 is None else z_mask[sl],
+            "deadline": None if deadlines is None else deadlines[sl],
         }
 
     if window is not None and window < 1:
@@ -463,6 +480,7 @@ def solve_opf_batch(
             mu0_mask=mu_mask,
             z0_mask=z_mask,
             options=options.mips,
+            deadline=deadlines,
         )
     return [
         build_opf_result(case, model, r, preprocess_seconds, Pd_mw[i], Qd_mvar[i])

@@ -40,6 +40,9 @@ class OPFResult:
     solve_seconds: float = 0.0
     #: Per-phase solver time (eval / assembly / factorization / backsolve).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: True when the solve was cut short by a wall deadline or per-solve wall
+    #: budget rather than a numerical outcome (see ``MIPSResult.timed_out``).
+    timed_out: bool = False
     Pd_mw: Optional[np.ndarray] = None
     Qd_mvar: Optional[np.ndarray] = None
 
@@ -95,6 +98,7 @@ def build_opf_result(
         # ``solve_seconds`` comparable and summable in both execution modes.
         solve_seconds=mips_result.share_seconds,
         phase_seconds=dict(mips_result.phase_seconds),
+        timed_out=mips_result.timed_out,
         Pd_mw=None if Pd_mw is None else np.asarray(Pd_mw, dtype=float).copy(),
         Qd_mvar=None if Qd_mvar is None else np.asarray(Qd_mvar, dtype=float).copy(),
     )

@@ -76,6 +76,7 @@ def solve_opf(
     Qd_mvar: Optional[np.ndarray] = None,
     options: Optional[OPFOptions] = None,
     model: Optional[OPFModel] = None,
+    deadline: Optional[float] = None,
 ) -> OPFResult:
     """Solve the AC optimal power flow for ``case``.
 
@@ -94,6 +95,10 @@ def solve_opf(
     model:
         Pre-built :class:`OPFModel` to reuse across scenarios of the same
         case (avoids rebuilding admittance matrices for every sample).
+    deadline:
+        Optional absolute wall deadline on the ``time.monotonic()`` clock.
+        Checked cooperatively between solver iterations; an expired deadline
+        terminates the solve with ``timed_out`` set instead of raising.
     """
     options = options or OPFOptions()
     t0 = time.perf_counter()
@@ -129,6 +134,7 @@ def solve_opf(
         mu0=warm.mu,
         z0=warm.z,
         options=options.mips,
+        deadline=deadline,
     )
 
     return build_opf_result(case, model, mips_result, preprocess_seconds, Pd_mw, Qd_mvar)

@@ -19,6 +19,7 @@ from repro.parallel.scheduler import (
     predicted_cost,
     topology_key,
 )
+from repro.parallel.supervision import PoolClosedError, SupervisedPool
 
 __all__ = [
     "EXECUTION_MODES",
@@ -40,4 +41,6 @@ __all__ = [
     "ClusterModel",
     "calibrate_from_inference",
     "PAPER_WORKER_COUNTS",
+    "PoolClosedError",
+    "SupervisedPool",
 ]

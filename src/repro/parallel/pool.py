@@ -42,13 +42,27 @@ merge into one lockstep group (cross-sweep contingency batching).  Scheduling
 only decides where and with whom a scenario is solved; lockstep solves are
 row-independent bit for bit, so per-scenario results are invariant under
 chunking, steal order, worker count and micro-batch size.
+
+Dispatch is *supervised* (:mod:`repro.parallel.supervision`): tasks flow
+through a crash-aware worker pool, and a task whose worker dies (or whose
+solve raises) is retried with a bounded budget, then **bisected** — split
+along topology-group lines first, then halved — until the culprit scenario is
+isolated and quarantined as a structured failed outcome.  Bisection fragments
+re-enter the normal solve paths, and lockstep row independence guarantees the
+surviving scenarios' results stay bit-identical to a fault-free sweep.
+Per-request wall deadlines ride along with each task and reach the solver's
+cooperative between-iteration checks; an expired scenario retires as a
+``timed_out`` outcome without perturbing its lockstep neighbours.
+Deterministic chaos for all of this comes from an optional
+:class:`~repro.testing.faults.FaultPlan` shipped to the workers with the
+initializer.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -66,6 +80,8 @@ from repro.parallel.scheduler import (
     make_microbatches,
     topology_key,
 )
+from repro.parallel.supervision import SupervisedPool
+from repro.testing.faults import FaultInjectionError, FaultPlan, execute_kill
 
 if TYPE_CHECKING:  # pragma: no cover - import-time cycle guard (engine imports pool)
     from repro.engine.fallback import FallbackPolicy
@@ -118,6 +134,17 @@ class ScenarioOutcome:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     #: Final primal/dual variables (present when solutions were requested).
     solution: Optional[ScenarioSolution] = None
+    #: Crash/error retries of the tasks that carried this scenario (0 for a
+    #: clean dispatch; includes retries of fragments it rode along in).
+    retries: int = 0
+    #: True when the scenario retired on a wall deadline or per-solve budget
+    #: (a resource outcome — no fallback recovery is attempted).
+    timed_out: bool = False
+    #: True when supervision isolated this scenario as the culprit of repeated
+    #: worker crashes / solver errors and retired it without a solution.
+    quarantined: bool = False
+    #: Description of the crash or exception that quarantined the scenario.
+    error: str = ""
 
     @property
     def converged(self) -> bool:
@@ -154,6 +181,15 @@ class SweepResult:
     #: Scheduling policy that dispatched the sweep (``"static"`` or
     #: ``"steal"``; :meth:`SolverFleet.solve_many` always records ``"steal"``).
     schedule: str = "static"
+    #: Task failure events the supervisor observed (worker crashes plus
+    #: raised worker exceptions) while dispatching this sweep.
+    errors: int = 0
+    #: Task retry attempts the supervisor dispatched for this sweep.
+    retries: int = 0
+    #: Scenarios quarantined as crash/error culprits (see
+    #: ``ScenarioOutcome.quarantined``).  For :meth:`SolverFleet.solve_many`
+    #: the three counters record the *joint* dispatch, repeated on each sweep.
+    quarantined: int = 0
 
     @property
     def n_scenarios(self) -> int:
@@ -199,6 +235,8 @@ def _build_state(
     collect_solutions: bool = False,
     model: Optional[OPFModel] = None,
     execution: str = "scenario",
+    faults: Optional[FaultPlan] = None,
+    in_subprocess: bool = False,
 ) -> Dict[str, object]:
     return {
         "case": case,
@@ -209,6 +247,10 @@ def _build_state(
         "fallback": fallback,
         "collect_solutions": collect_solutions,
         "execution": execution,
+        "faults": faults,
+        "in_subprocess": in_subprocess,
+        # Tasks processed by this worker process (drives ``kill_at_task``).
+        "task_count": 0,
     }
 
 
@@ -218,11 +260,20 @@ def _init_worker(
     fallback: "Optional[FallbackPolicy]" = None,
     collect_solutions: bool = False,
     execution: str = "scenario",
+    faults: Optional[FaultPlan] = None,
 ) -> None:
     """Pool initializer: build the per-process OPF model once."""
     _WORKER_STATE.clear()
     _WORKER_STATE.update(
-        _build_state(case, options, fallback, collect_solutions, execution=execution)
+        _build_state(
+            case,
+            options,
+            fallback,
+            collect_solutions,
+            execution=execution,
+            faults=faults,
+            in_subprocess=True,
+        )
     )
 
 
@@ -253,6 +304,7 @@ def _solve_scenario(
     scenario: Scenario,
     warm: Optional[WarmStart],
     options: Optional[OPFOptions] = None,
+    deadline: Optional[float] = None,
 ) -> OPFResult:
     """Solve one scenario, honouring its N-1 branch outage when present.
 
@@ -274,6 +326,7 @@ def _solve_scenario(
             Qd_mvar=scenario.Qd,
             options=options,
             model=model,
+            deadline=deadline,
         )
     outage_case, outage_model = _outage_case_and_model(state, scenario.outage_branch)
     if warm is not None and outage_model.n_ineq_nonlin != model.n_ineq_nonlin:
@@ -285,6 +338,7 @@ def _solve_scenario(
         Qd_mvar=scenario.Qd,
         options=options,
         model=outage_model,
+        deadline=deadline,
     )
 
 
@@ -304,6 +358,7 @@ def _lockstep_group(
     scenarios: Sequence[Scenario],
     warm_starts: Sequence[Optional[WarmStart]],
     window: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> List[OPFResult]:
     """Lockstep first attempts for a *topology-pure* scenario group.
 
@@ -336,6 +391,7 @@ def _lockstep_group(
         model=model,
         batched=_batched_model_for(state, branch, model),
         window=window,
+        deadline=deadline,
     )
 
 
@@ -343,6 +399,7 @@ def _lockstep_first_attempts(
     state: Dict[str, object],
     scenarios: List[Scenario],
     warm_starts: List[Optional[WarmStart]],
+    deadline: Optional[float] = None,
 ) -> List[OPFResult]:
     """First (warm) attempts for a worker batch, solved in lockstep.
 
@@ -360,13 +417,16 @@ def _lockstep_first_attempts(
     for branch, positions in groups.items():
         if len(positions) == 1:
             pos = positions[0]
-            results[pos] = _solve_scenario(state, scenarios[pos], warm_starts[pos])
+            results[pos] = _solve_scenario(
+                state, scenarios[pos], warm_starts[pos], deadline=deadline
+            )
             continue
         batch_results = _lockstep_group(
             state,
             branch,
             [scenarios[pos] for pos in positions],
             [warm_starts[pos] for pos in positions],
+            deadline=deadline,
         )
         for pos, result in zip(positions, batch_results):
             results[pos] = result
@@ -379,25 +439,31 @@ def _outcome_for(
     warm: Optional[WarmStart],
     worker_id: int,
     first: Optional[OPFResult] = None,
+    deadline: Optional[float] = None,
 ) -> ScenarioOutcome:
     """Solve one scenario, apply the fallback policy and package the outcome.
 
     ``first`` short-circuits the initial solve with a result computed
     elsewhere (the lockstep batch path); recovery still runs per scenario.
+    A first attempt that timed out retires as-is — recovery would only burn
+    more of a budget that is already spent — and recovery solves for ordinary
+    failures inherit the scenario's deadline.
     """
     options: OPFOptions = state["options"]
     policy = state["fallback"]
     if first is None:
-        first = _solve_scenario(state, scenario, warm)
+        first = _solve_scenario(state, scenario, warm, deadline=deadline)
 
     recovered: Optional[OPFResult] = None
     fallback_seconds = 0.0
     fallback_iterations = 0
-    if not first.success and policy is not None:
+    if not first.success and not first.timed_out and policy is not None:
         attempts: List[OPFResult] = []
 
         def solve(warm_start, solve_options=None):
-            result = _solve_scenario(state, scenario, warm_start, solve_options)
+            result = _solve_scenario(
+                state, scenario, warm_start, solve_options, deadline=deadline
+            )
             attempts.append(result)
             return result
 
@@ -432,6 +498,7 @@ def _outcome_for(
         fallback_seconds=fallback_seconds,
         phase_seconds=dict(final.phase_seconds),
         solution=solution,
+        timed_out=first.timed_out or (recovered is not None and recovered.timed_out),
     )
 
 
@@ -440,23 +507,18 @@ def _solve_batch_in_state(
     scenarios: List[Scenario],
     warm_starts: List[Optional[WarmStart]],
     worker_id: int,
+    deadline: Optional[float] = None,
 ) -> List[ScenarioOutcome]:
     if state.get("execution") == "batch" and len(scenarios) > 1:
-        firsts = _lockstep_first_attempts(state, scenarios, warm_starts)
+        firsts = _lockstep_first_attempts(state, scenarios, warm_starts, deadline=deadline)
         return [
-            _outcome_for(state, scenario, warm, worker_id, first=first)
+            _outcome_for(state, scenario, warm, worker_id, first=first, deadline=deadline)
             for scenario, warm, first in zip(scenarios, warm_starts, firsts)
         ]
     return [
-        _outcome_for(state, scenario, warm, worker_id)
+        _outcome_for(state, scenario, warm, worker_id, deadline=deadline)
         for scenario, warm in zip(scenarios, warm_starts)
     ]
-
-
-def _solve_batch(args) -> List[ScenarioOutcome]:
-    """Worker entry point (module-level for pickling); uses the initializer state."""
-    scenarios, warm_starts, worker_id = args
-    return _solve_batch_in_state(_WORKER_STATE, scenarios, warm_starts, worker_id)
 
 
 def _solve_keyed_group_in_state(
@@ -466,6 +528,7 @@ def _solve_keyed_group_in_state(
     warm_starts: List[Optional[WarmStart]],
     worker_id: int,
     window: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> List[ScenarioOutcome]:
     """Solve a topology-pure group on the elastic (steal/grouped) paths.
 
@@ -475,13 +538,15 @@ def _solve_keyed_group_in_state(
     into micro-batches.  Fallback recovery stays per scenario.
     """
     if state.get("execution") == "batch":
-        firsts = _lockstep_group(state, key, scenarios, warm_starts, window=window)
+        firsts = _lockstep_group(
+            state, key, scenarios, warm_starts, window=window, deadline=deadline
+        )
         return [
-            _outcome_for(state, scenario, warm, worker_id, first=first)
+            _outcome_for(state, scenario, warm, worker_id, first=first, deadline=deadline)
             for scenario, warm, first in zip(scenarios, warm_starts, firsts)
         ]
     return [
-        _outcome_for(state, scenario, warm, worker_id)
+        _outcome_for(state, scenario, warm, worker_id, deadline=deadline)
         for scenario, warm in zip(scenarios, warm_starts)
     ]
 
@@ -497,20 +562,168 @@ def _worker_identity() -> int:
     return int(identity[0]) if identity else 0
 
 
-def _solve_microbatch(args) -> Tuple[Tuple[int, ...], List[ScenarioOutcome]]:
-    """Steal-mode worker entry: one micro-batch pulled from the shared queue.
+# -------------------------------------------------------------- task machinery
+#: A dispatch task is a plain picklable dict:
+#:
+#: * ``kind`` — ``"static_chunk"`` (legacy chunk semantics: per-chunk
+#:   topology grouping, scalar shortcut for one-off topologies) or
+#:   ``"keyed_group"`` (topology-pure, always lockstep in batch mode);
+#: * ``positions`` — global sweep positions of the carried scenarios;
+#: * ``scenarios`` / ``warm_starts`` — the carried work, aligned with
+#:   ``positions``;
+#: * ``key`` — the topology key of a ``keyed_group`` task;
+#: * ``worker_id`` — the worker label stamped on outcomes (``None`` = the
+#:   executing process's own identity, the steal-mode label);
+#: * ``window`` — optional lockstep window for ``keyed_group`` tasks;
+#: * ``attempt`` — crash-retry attempt number (0 = first dispatch), which
+#:   fault plans key on;
+#: * ``deadline`` — optional absolute ``time.monotonic()`` wall deadline.
 
-    Whichever worker is idle picks the task up (``imap_unordered`` with
-    ``chunksize=1`` keeps the pool's internal task queue as the shared work
-    queue), so remaining micro-batches are effectively stolen from busy
-    workers.  Returns the global positions alongside the outcomes so the
-    parent can reassemble results regardless of completion order.
+
+def _make_task(
+    kind: str,
+    positions: Sequence[int],
+    key: Optional[int],
+    scenarios: List[Scenario],
+    warm_starts: List[Optional[WarmStart]],
+    worker_id: Optional[int],
+    window: Optional[int],
+    deadline: Optional[float],
+) -> Dict[str, object]:
+    return {
+        "kind": kind,
+        "positions": tuple(positions),
+        "key": key,
+        "scenarios": [scenarios[i] for i in positions],
+        "warm_starts": [warm_starts[i] for i in positions],
+        "worker_id": worker_id,
+        "window": window,
+        "attempt": 0,
+        "deadline": deadline,
+    }
+
+
+def _split_task(task: Dict[str, object]) -> Optional[List[Dict[str, object]]]:
+    """Bisect a repeatedly-failing task; ``None`` when it cannot shrink.
+
+    Splitting must preserve the bitwise parity of surviving scenarios with a
+    fault-free sweep, so it follows the solve-path semantics:
+
+    * a task spanning several topology groups splits into one fragment per
+      group, **keeping the parent kind** — inside a static chunk each group
+      already solved independently (scalar for singletons, lockstep
+      otherwise), so per-group fragments replay the exact same paths;
+    * a topology-pure task halves into ``"keyed_group"`` fragments, which
+      march in lockstep *even as singletons*; lockstep rows are independent
+      bit for bit, so any cut of a lockstep group reproduces its rows.
+
+    Fragments restart the retry budget (``attempt=0``).
     """
-    positions, key, scenarios, warm_starts = args
-    outcomes = _solve_keyed_group_in_state(
-        _WORKER_STATE, key, scenarios, warm_starts, _worker_identity()
+    positions: Tuple[int, ...] = task["positions"]
+    if len(positions) <= 1:
+        return None
+    scenarios: List[Scenario] = task["scenarios"]
+    warm_starts: List[Optional[WarmStart]] = task["warm_starts"]
+    groups: Dict[Optional[int], List[int]] = {}
+    for i, scenario in enumerate(scenarios):
+        groups.setdefault(topology_key(scenario), []).append(i)
+
+    def fragment(local: List[int], kind: str, key: Optional[int]) -> Dict[str, object]:
+        return dict(
+            task,
+            kind=kind,
+            key=key,
+            positions=tuple(positions[i] for i in local),
+            scenarios=[scenarios[i] for i in local],
+            warm_starts=[warm_starts[i] for i in local],
+            attempt=0,
+        )
+
+    if len(groups) > 1:
+        return [fragment(local, task["kind"], key) for key, local in groups.items()]
+    ((key, local),) = groups.items()
+    half = len(local) // 2
+    return [
+        fragment(local[:half], "keyed_group", key),
+        fragment(local[half:], "keyed_group", key),
+    ]
+
+
+def _task_worker_label(task: Dict[str, object]) -> int:
+    """The worker id stamped on this task's outcomes (see ``_make_task``)."""
+    worker_id = task["worker_id"]
+    return _worker_identity() if worker_id is None else int(worker_id)
+
+
+def _retired_outcome(
+    scenario: Scenario,
+    worker: int,
+    message: str,
+    timed_out: bool = False,
+    quarantined: bool = False,
+    retries: int = 0,
+) -> ScenarioOutcome:
+    """A structured outcome for a scenario retired without a solution."""
+    return ScenarioOutcome(
+        scenario_id=scenario.scenario_id,
+        success=False,
+        iterations=0,
+        objective=float("nan"),
+        solve_seconds=0.0,
+        worker=worker,
+        timed_out=timed_out,
+        quarantined=quarantined,
+        error=message,
+        retries=retries,
     )
-    return positions, outcomes
+
+
+def _solve_task_in_state(
+    state: Dict[str, object], task: Dict[str, object]
+) -> List[ScenarioOutcome]:
+    """Execute one dispatch task: faults, deadline gate, then the solve path."""
+    scenarios: List[Scenario] = task["scenarios"]
+    attempt: int = task["attempt"]
+    plan: Optional[FaultPlan] = state.get("faults")
+    if plan:
+        index = int(state.get("task_count", 0))
+        state["task_count"] = index + 1
+        scenario_ids = [s.scenario_id for s in scenarios]
+        if plan.kill_at_task_index(index) or plan.kill_for(scenario_ids, attempt):
+            execute_kill(bool(state.get("in_subprocess")))
+        stall = plan.stall_seconds(scenario_ids, attempt)
+        if stall > 0.0:
+            time.sleep(stall)
+        spec = plan.raise_for(scenario_ids, attempt)
+        if spec is not None:
+            raise FaultInjectionError(spec.message)
+    deadline: Optional[float] = task["deadline"]
+    if deadline is not None and time.monotonic() >= deadline:
+        # The whole task missed its deadline before solving anything: retire
+        # every carried scenario as timed out, skipping the solver entirely.
+        worker = _task_worker_label(task)
+        return [
+            _retired_outcome(s, worker, "wall deadline exceeded", timed_out=True)
+            for s in scenarios
+        ]
+    if task["kind"] == "static_chunk":
+        return _solve_batch_in_state(
+            state, scenarios, task["warm_starts"], _task_worker_label(task), deadline=deadline
+        )
+    return _solve_keyed_group_in_state(
+        state,
+        task["key"],
+        scenarios,
+        task["warm_starts"],
+        _task_worker_label(task),
+        window=task["window"],
+        deadline=deadline,
+    )
+
+
+def _solve_task(task: Dict[str, object]) -> List[ScenarioOutcome]:
+    """Worker entry point (module-level for pickling); uses the initializer state."""
+    return _solve_task_in_state(_WORKER_STATE, task)
 
 
 # ------------------------------------------------------------------------ fleet
@@ -539,6 +752,14 @@ class SolverFleet:
     micro-batch size (the static batch path keeps its legacy scalar shortcut
     for one-off topologies, so it is pinned separately).
 
+    Dispatch is supervised: a worker that dies mid-task is respawned and its
+    task retried (``crash_retries`` attempts per task), then bisected until
+    the culprit scenario is quarantined as a structured failed outcome —
+    a sweep always returns one outcome per scenario.  ``faults`` injects
+    deterministic chaos (worker kills, solver raises, stalls) for tests; see
+    :mod:`repro.testing.faults`.  Per-request wall deadlines are accepted by
+    :meth:`solve` / :meth:`solve_many`.
+
     Use as a context manager, or call :meth:`close` when done.
     """
 
@@ -553,6 +774,8 @@ class SolverFleet:
         execution: str = "scenario",
         schedule: str = "static",
         microbatch: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        crash_retries: int = 1,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
@@ -562,6 +785,8 @@ class SolverFleet:
             raise ValueError(f"schedule must be one of {SCHEDULES}")
         if microbatch is not None and microbatch < 1:
             raise ValueError("microbatch must be positive")
+        if crash_retries < 0:
+            raise ValueError("crash_retries must be non-negative")
         self.case = case
         self.options = options or OPFOptions()
         self.n_workers = n_workers
@@ -570,44 +795,63 @@ class SolverFleet:
         self.execution = execution
         self.schedule = schedule
         self.microbatch = microbatch
-        self._pool = None
+        self.faults = faults
+        self.crash_retries = crash_retries
+        self._pool: Optional[SupervisedPool] = None
         self._state: Optional[Dict[str, object]] = None
         if n_workers == 1:
             self._state = _build_state(
                 case, self.options, fallback, collect_solutions, model=model,
-                execution=execution,
+                execution=execution, faults=faults,
             )
         else:
-            ctx = mp.get_context("spawn")
-            self._pool = ctx.Pool(
-                processes=n_workers,
+            self._pool = SupervisedPool(
+                n_workers,
                 initializer=_init_worker,
-                initargs=(case, self.options, fallback, collect_solutions, execution),
+                initargs=(case, self.options, fallback, collect_solutions, execution, faults),
             )
 
     # ------------------------------------------------------------------ solving
+    @staticmethod
+    def _absolute_deadline(
+        deadline_seconds: Optional[float], deadline: Optional[float]
+    ) -> Optional[float]:
+        """Combine a relative budget and an absolute deadline (minimum wins)."""
+        if deadline_seconds is not None:
+            if deadline_seconds <= 0:
+                raise ValueError("deadline_seconds must be positive")
+            relative = time.monotonic() + deadline_seconds
+            return relative if deadline is None else min(relative, deadline)
+        return deadline
+
     def solve(
         self,
         scenario_set: ScenarioSet,
         warm_starts: Optional[List[Optional[WarmStart]]] = None,
+        deadline_seconds: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> SweepResult:
         """Solve every scenario of ``scenario_set`` on the fleet.
 
         ``warm_starts`` is an optional per-scenario list (``None`` entries mean
         a cold start), typically produced by batched MTL inference in the
-        parent process.
+        parent process.  ``deadline_seconds`` (a wall budget for this request)
+        or ``deadline`` (an absolute ``time.monotonic()`` deadline) bound the
+        sweep cooperatively: scenarios that miss the cut retire as
+        ``timed_out`` outcomes instead of blocking the request.
         """
         if warm_starts is None:
             warm_starts = [None] * len(scenario_set)
         if len(warm_starts) != len(scenario_set):
             raise ValueError("warm_starts must have one entry per scenario")
+        due = self._absolute_deadline(deadline_seconds, deadline)
 
         scenarios = list(scenario_set)
         start = time.perf_counter()
         if self.schedule == "steal":
-            outcomes = self._dispatch_elastic(scenarios, list(warm_starts))
+            outcomes, stats = self._dispatch_elastic(scenarios, list(warm_starts), due)
         else:
-            outcomes = self._dispatch_static(scenarios, list(warm_starts))
+            outcomes, stats = self._dispatch_static(scenarios, list(warm_starts), due)
         wall = time.perf_counter() - start
 
         sweep = SweepResult(
@@ -616,6 +860,9 @@ class SolverFleet:
             wall_seconds=wall,
             execution=self.execution,
             schedule=self.schedule,
+            errors=stats["errors"],
+            retries=stats["retries"],
+            quarantined=stats["quarantined"],
         )
         sweep.outcomes.extend(outcomes)
         sweep.outcomes.sort(key=lambda o: o.scenario_id)
@@ -625,6 +872,8 @@ class SolverFleet:
         self,
         scenario_sets: Sequence[ScenarioSet],
         warm_starts: Optional[Sequence[Optional[List[Optional[WarmStart]]]]] = None,
+        deadline_seconds: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> List[SweepResult]:
         """Solve several sweeps at once with cross-sweep contingency batching.
 
@@ -640,8 +889,11 @@ class SolverFleet:
         ``warm_starts`` is an optional per-sweep sequence of per-scenario
         lists (``None`` sweeps mean all-cold).  Returns one
         :class:`SweepResult` per input sweep (outcomes sorted by scenario
-        id); each records the *joint* dispatch wall, so aggregate cost by
-        summing per-scenario ``solve_seconds``, not walls across sweeps.
+        id); each records the *joint* dispatch wall — and the joint
+        ``errors`` / ``retries`` / ``quarantined`` counters — so aggregate
+        cost by summing per-scenario ``solve_seconds``, not walls across
+        sweeps.  ``deadline_seconds`` / ``deadline`` bound the joint dispatch
+        like :meth:`solve`.
         """
         sets = list(scenario_sets)
         if warm_starts is None:
@@ -662,8 +914,9 @@ class SolverFleet:
                 flat_warms.append(warm)
                 origins.append(si)
 
+        due = self._absolute_deadline(deadline_seconds, deadline)
         start = time.perf_counter()
-        outcomes = self._dispatch_elastic(flat_scenarios, flat_warms)
+        outcomes, stats = self._dispatch_elastic(flat_scenarios, flat_warms, due)
         wall = time.perf_counter() - start
 
         sweeps = [
@@ -673,6 +926,9 @@ class SolverFleet:
                 wall_seconds=wall,
                 execution=self.execution,
                 schedule="steal",
+                errors=stats["errors"],
+                retries=stats["retries"],
+                quarantined=stats["quarantined"],
             )
             for _ in sets
         ]
@@ -692,7 +948,8 @@ class SolverFleet:
         self,
         scenarios: List[Scenario],
         warm_starts: List[Optional[WarmStart]],
-    ) -> List[ScenarioOutcome]:
+        deadline: Optional[float] = None,
+    ) -> Tuple[List[ScenarioOutcome], Dict[str, int]]:
         """Cost-balanced fixed chunks, one per worker (the legacy scatter).
 
         Chunks are balanced by :func:`~repro.parallel.scheduler.predicted_cost`
@@ -701,46 +958,32 @@ class SolverFleet:
         serialising its chunk.
         """
         assignment = balanced_assignment(scenarios, warm_starts, self.n_workers)
-        jobs = []
-        for worker_id, positions in enumerate(assignment):
-            if positions:
-                jobs.append(
-                    (
-                        [scenarios[i] for i in positions],
-                        [warm_starts[i] for i in positions],
-                        worker_id,
-                    )
-                )
-        if self._pool is None:
-            results = [
-                _solve_batch_in_state(self._require_state(), chunk, warm_chunk, worker_id)
-                for chunk, warm_chunk, worker_id in jobs
-            ]
-        else:
-            results = self._pool.map(_solve_batch, jobs)
-        outcomes: List[ScenarioOutcome] = []
-        for batch in results:
-            outcomes.extend(batch)
-        return outcomes
+        tasks = [
+            _make_task(
+                "static_chunk", positions, None, scenarios, warm_starts,
+                worker_id, None, deadline,
+            )
+            for worker_id, positions in enumerate(assignment)
+            if positions
+        ]
+        return self._run_tasks(tasks, len(scenarios))
 
     def _dispatch_elastic(
         self,
         scenarios: List[Scenario],
         warm_starts: List[Optional[WarmStart]],
-    ) -> List[ScenarioOutcome]:
+        deadline: Optional[float] = None,
+    ) -> Tuple[List[ScenarioOutcome], Dict[str, int]]:
         """Shared micro-batch queue with stealing; outcomes returned by position.
 
-        Multi-worker fleets feed the topology-keyed micro-batches through
-        ``imap_unordered`` with ``chunksize=1`` — the pool's internal task
-        queue *is* the shared work queue, and whichever worker drains its
+        Multi-worker fleets submit the topology-keyed micro-batches to the
+        supervised pool's shared task queue, and whichever worker drains its
         current micro-batch first pulls (steals) the next one.  The
         in-process fleet instead streams each topology group through a
         lockstep window of one micro-batch, refilling retired slots from the
         queue between iterations (see :func:`repro.opf.batch.solve_opf_batch`).
         """
-        outcomes: List[Optional[ScenarioOutcome]] = [None] * len(scenarios)
         if self._pool is None:
-            state = self._require_state()
             # With a single in-process worker there is nobody to steal from,
             # so micro-batch boundaries are irrelevant: solve whole topology
             # groups, where a bounded lockstep window only caps how many
@@ -748,47 +991,122 @@ class SolverFleet:
             # amortisation) and let an explicit ``microbatch`` opt into
             # bounded retire-and-refill streaming.  Results are
             # window-invariant bit for bit either way.
-            window = self.microbatch
             grouped: Dict[Optional[int], List[int]] = {}
             for position, scenario in enumerate(scenarios):
                 grouped.setdefault(topology_key(scenario), []).append(position)
-            for key, positions in grouped.items():
-                outs = _solve_keyed_group_in_state(
-                    state,
-                    key,
-                    [scenarios[i] for i in positions],
-                    [warm_starts[i] for i in positions],
-                    0,
-                    window=window,
+            tasks = [
+                _make_task(
+                    "keyed_group", positions, key, scenarios, warm_starts,
+                    0, self.microbatch, deadline,
                 )
-                for position, outcome in zip(positions, outs):
-                    outcomes[position] = outcome
+                for key, positions in grouped.items()
+            ]
         else:
             microbatches = make_microbatches(
                 scenarios, microbatch=self.microbatch, n_workers=self.n_workers
             )
             tasks = [
-                (
-                    microbatch.positions,
-                    microbatch.key,
-                    [scenarios[i] for i in microbatch.positions],
-                    [warm_starts[i] for i in microbatch.positions],
+                _make_task(
+                    "keyed_group", microbatch.positions, microbatch.key,
+                    scenarios, warm_starts, None, None, deadline,
                 )
                 for microbatch in microbatches
             ]
-            for positions, outs in self._pool.imap_unordered(
-                _solve_microbatch, tasks, chunksize=1
-            ):
-                for position, outcome in zip(positions, outs):
-                    outcomes[position] = outcome
-        return outcomes  # type: ignore[return-value]
+        return self._run_tasks(tasks, len(scenarios))
+
+    def _run_tasks(
+        self, tasks: List[Dict[str, object]], n_scenarios: int
+    ) -> Tuple[List[ScenarioOutcome], Dict[str, int]]:
+        """Run dispatch tasks under supervision; one outcome per position.
+
+        A failing task (dead worker or raised exception — including injected
+        faults) is retried up to ``crash_retries`` times, then bisected by
+        :func:`_split_task` until the culprit scenario is isolated and
+        quarantined.  The multi-worker path consumes the supervised pool's
+        event stream (crashed workers are respawned by the pool); the
+        in-process path runs the identical policy inline, treating any
+        exception from the solve as the failure event.
+        """
+        outcomes: List[Optional[ScenarioOutcome]] = [None] * n_scenarios
+        stats = {"errors": 0, "retries": 0, "quarantined": 0}
+        #: Retry attempts each global position has ridden along in — folded
+        #: into its final outcome whichever task eventually carries it home.
+        retry_counts: Dict[int, int] = {}
+
+        def place(task: Dict[str, object], outs: List[ScenarioOutcome]) -> None:
+            for pos, outcome in zip(task["positions"], outs):
+                extra = retry_counts.get(pos, 0)
+                if extra:
+                    outcome = replace(outcome, retries=outcome.retries + extra)
+                outcomes[pos] = outcome
+
+        def on_failure(
+            task: Dict[str, object], message: str
+        ) -> List[Dict[str, object]]:
+            """Retry, bisect or quarantine; returns the tasks to (re)dispatch."""
+            stats["errors"] += 1
+            if task["attempt"] < self.crash_retries:
+                stats["retries"] += 1
+                for pos in task["positions"]:
+                    retry_counts[pos] = retry_counts.get(pos, 0) + 1
+                return [dict(task, attempt=task["attempt"] + 1)]
+            fragments = _split_task(task)
+            if fragments is not None:
+                return fragments
+            scenario = task["scenarios"][0]
+            pos = task["positions"][0]
+            worker = task["worker_id"]
+            outcomes[pos] = _retired_outcome(
+                scenario,
+                0 if worker is None else int(worker),
+                message,
+                quarantined=True,
+                retries=retry_counts.get(pos, 0),
+            )
+            stats["quarantined"] += 1
+            return []
+
+        if self._pool is None:
+            state = self._require_state()
+            queue: List[Dict[str, object]] = list(tasks)
+            while queue:
+                task = queue.pop(0)
+                try:
+                    outs = _solve_task_in_state(state, task)
+                except Exception as exc:  # noqa: BLE001 - the supervision boundary
+                    queue.extend(on_failure(task, f"{type(exc).__name__}: {exc}"))
+                else:
+                    place(task, outs)
+        else:
+            # Hold a local reference: a cross-thread close() nulls self._pool,
+            # and the terminated pool then raises PoolClosedError from
+            # next_event()/submit() — the designed abort signal — rather than
+            # this loop tripping over a vanished attribute.
+            pool = self._pool
+            inflight: Dict[int, Dict[str, object]] = {}
+            for task in tasks:
+                inflight[pool.submit(_solve_task, task)] = task
+            while inflight:
+                kind, task_id, payload = pool.next_event()
+                task = inflight.pop(task_id)
+                if kind == "done":
+                    place(task, payload)
+                    continue
+                for fragment in on_failure(task, str(payload)):
+                    inflight[pool.submit(_solve_task, fragment)] = fragment
+        return outcomes, stats  # type: ignore[return-value]
 
     # ---------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut the fleet down (terminates pool workers; idempotent)."""
+        """Shut the fleet down (terminates pool workers; idempotent).
+
+        Safe to call from another thread while a sweep is in flight: the
+        supervised pool's event loop then aborts the dispatch with
+        :class:`~repro.parallel.supervision.PoolClosedError` instead of
+        hanging on workers that no longer exist.
+        """
         if self._pool is not None:
             self._pool.terminate()
-            self._pool.join()
             self._pool = None
         self._state = None
 
@@ -811,6 +1129,9 @@ def run_scenario_sweep(
     execution: str = "scenario",
     schedule: str = "static",
     microbatch: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    crash_retries: int = 1,
+    deadline_seconds: Optional[float] = None,
 ) -> SweepResult:
     """Solve every scenario of ``scenario_set`` using a one-shot fleet.
 
@@ -829,5 +1150,7 @@ def run_scenario_sweep(
         execution=execution,
         schedule=schedule,
         microbatch=microbatch,
+        faults=faults,
+        crash_retries=crash_retries,
     ) as fleet:
-        return fleet.solve(scenario_set, warm_starts)
+        return fleet.solve(scenario_set, warm_starts, deadline_seconds=deadline_seconds)

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.engine import (
+    ArtifactCorruptError,
     ArtifactError,
     ArtifactMismatchError,
     WarmStartEngine,
@@ -20,6 +21,8 @@ from repro.engine import (
 from repro.mtl import DatasetNormalizer, SeparateTaskNetworks, TaskDimensions, fast_config
 from repro.nn.modules import Linear, Sequential
 from repro.nn.serialization import (
+    CHECKSUM_KEY,
+    BundleIntegrityError,
     load_bundle,
     load_module,
     load_state_dict,
@@ -27,6 +30,7 @@ from repro.nn.serialization import (
     save_module,
     save_state_dict,
 )
+from repro.testing.faults import corrupt_artifact_bytes
 
 
 @pytest.fixture(scope="module")
@@ -68,6 +72,34 @@ def test_load_bundle_rejects_plain_npz(tmp_path):
     np.savez(tmp_path / "plain.npz", a=np.ones(2))
     with pytest.raises(ValueError):
         load_bundle(tmp_path / "plain.npz")
+
+
+# --------------------------------------------------------------- bundle integrity
+def test_bundle_carries_verifiable_checksum(tmp_path):
+    path = save_bundle(tmp_path / "b.npz", {"a": np.arange(4.0)}, {"v": 1})
+    with np.load(path, allow_pickle=False) as data:
+        assert CHECKSUM_KEY in data.files
+    arrays, meta = load_bundle(path)  # verifies without raising
+    assert CHECKSUM_KEY not in arrays and meta == {"v": 1}
+    with pytest.raises(ValueError, match="reserved"):
+        save_bundle(tmp_path / "bad.npz", {CHECKSUM_KEY: np.ones(1)}, {})
+
+
+def test_corrupted_bundle_raises_integrity_error(tmp_path):
+    path = save_bundle(
+        tmp_path / "b.npz", {"a": np.arange(64.0), "b": np.ones((8, 8))}, {"v": 1}
+    )
+    corrupt_artifact_bytes(path)
+    with pytest.raises(BundleIntegrityError):
+        load_bundle(path)
+
+
+def test_truncated_bundle_raises_integrity_error(tmp_path):
+    path = save_bundle(tmp_path / "b.npz", {"a": np.arange(64.0)}, {"v": 1})
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(BundleIntegrityError):
+        load_bundle(path)
 
 
 # ------------------------------------------------------------ case fingerprints
@@ -132,6 +164,18 @@ def test_artifact_rejects_non_artifact_file(case9_fixture, tmp_path):
     np.savez(tmp_path / "not_an_artifact.npz", a=np.ones(3))
     with pytest.raises(ArtifactError):
         load_artifact(tmp_path / "not_an_artifact.npz", case9_fixture)
+
+
+def test_byte_corrupted_artifact_raises_typed_error(engine9, case9_fixture, tmp_path):
+    """Flipped payload bytes surface as ArtifactCorruptError, not garbage."""
+    path = save_artifact(engine9, tmp_path / "engine.npz")
+    load_artifact(path, case9_fixture)  # healthy before corruption
+    corrupt_artifact_bytes(path)
+    with pytest.raises(ArtifactCorruptError):
+        load_artifact(path, case9_fixture)
+    # The typed error is still an ArtifactError (and distinct from a mismatch).
+    assert issubclass(ArtifactCorruptError, ArtifactError)
+    assert not issubclass(ArtifactCorruptError, ArtifactMismatchError)
 
 
 def test_artifact_roundtrip_separate_networks(case9_fixture, dataset9, opf_model9, tmp_path):
