@@ -67,6 +67,7 @@ class WarmStartEngine:
         opf_model: Optional[OPFModel] = None,
         execution: str = "scenario",
         kkt_solver: Optional[str] = None,
+        kkt_factor_threads: Optional[int] = None,
         schedule: str = "static",
         microbatch: Optional[int] = None,
         breaker: Optional[CircuitBreaker] = None,
@@ -78,13 +79,19 @@ class WarmStartEngine:
         self.normalizer = normalizer
         self.config = config or getattr(network, "config", MTLConfig())
         self.opf_options = opf_options or OPFOptions()
-        if kkt_solver is not None:
-            # Convenience override so deployments can pick the KKT backend
-            # (e.g. "blockdiag" for lockstep batch serving) without rebuilding
-            # the whole (frozen) option tree by hand.
+        if kkt_solver is not None or kkt_factor_threads is not None:
+            # Convenience overrides so deployments can pick the KKT backend
+            # (e.g. "blockdiag" for lockstep batch serving, "ldl" for the
+            # refactorisation backend) and its factorisation thread count
+            # without rebuilding the whole (frozen) option tree by hand.
+            mips_overrides = {}
+            if kkt_solver is not None:
+                mips_overrides["kkt_solver"] = kkt_solver
+            if kkt_factor_threads is not None:
+                mips_overrides["kkt_factor_threads"] = kkt_factor_threads
             self.opf_options = replace(
                 self.opf_options,
-                mips=replace(self.opf_options.mips, kkt_solver=kkt_solver),
+                mips=replace(self.opf_options.mips, **mips_overrides),
             )
             self.opf_options.mips.validate()
         self.fallback = get_fallback_policy(fallback)
@@ -124,6 +131,7 @@ class WarmStartEngine:
         fallback: Union[str, FallbackPolicy, None] = "cold_restart",
         execution: str = "scenario",
         kkt_solver: Optional[str] = None,
+        kkt_factor_threads: Optional[int] = None,
         schedule: str = "static",
         microbatch: Optional[int] = None,
     ) -> "WarmStartEngine":
@@ -138,6 +146,7 @@ class WarmStartEngine:
             opf_model=trainer.opf_model,
             execution=execution,
             kkt_solver=kkt_solver,
+            kkt_factor_threads=kkt_factor_threads,
             schedule=schedule,
             microbatch=microbatch,
         )

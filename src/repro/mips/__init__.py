@@ -10,7 +10,13 @@ from repro.mips.linsolve import (
     available_kkt_solvers,
     make_kkt_solver,
     register_kkt_solver,
+    solver_telemetry,
 )
+
+# Importing the module registers the "ldl" backend with the KKT registry, so
+# spawn-based workers that import ``repro.mips`` can select it via
+# ``MIPSOptions.kkt_solver`` (see ``register_kkt_solver``'s per-process note).
+from repro.mips.ldl import LDLSolver
 from repro.mips.batch import BatchFeedPayload, mips_batch
 from repro.mips.options import MIPSOptions
 from repro.mips.qp import qps_mips
@@ -31,8 +37,10 @@ __all__ = [
     "BlockDiagSolver",
     "BlockSolveReport",
     "FactorizedSolver",
+    "LDLSolver",
     "SpsolveSolver",
     "available_kkt_solvers",
     "make_kkt_solver",
     "register_kkt_solver",
+    "solver_telemetry",
 ]

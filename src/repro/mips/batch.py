@@ -66,7 +66,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.mips.linsolve import KKTSolveError, make_kkt_solver
+from repro.mips.linsolve import KKTSolveError, make_kkt_solver, solver_telemetry
 from repro.mips.options import MIPSOptions
 from repro.mips.result import IterationRecord, MIPSResult
 from repro.mips.solver import _BoundHandler, _KKTAssembler
@@ -398,7 +398,10 @@ def mips_batch(
     # instance plus the plan-based batched assembler, removing the per-slot
     # assemble/factor/backsolve loop entirely.
     proto_solver = make_kkt_solver(
-        opt.kkt_solver, regularization=opt.kkt_reg, max_retries=opt.kkt_max_retries
+        opt.kkt_solver,
+        regularization=opt.kkt_reg,
+        max_retries=opt.kkt_max_retries,
+        factor_threads=opt.kkt_factor_threads,
     )
     use_blocks = bool(getattr(proto_solver, "supports_blocks", False))
     solvers: List = []
@@ -536,6 +539,12 @@ def mips_batch(
             elapsed_seconds=time.perf_counter() - enroll_clock[b],
             phase_seconds={name: float(phase[name][b]) for name in _PHASES},
             kkt_regularizations=int(reg_counts[b]),
+            # Block mode shares one solver across the batch, so the counters
+            # are batch-level aggregates snapshotted at this row's retirement;
+            # per-slot mode reports the row's own solver.
+            kkt_telemetry=solver_telemetry(
+                block_solver if use_blocks else solvers[b]
+            ),
             timed_out=timed_out,
             wall_share_seconds=float(share[b]),
         )
@@ -571,7 +580,10 @@ def mips_batch(
         if not use_blocks:
             solvers.extend(
                 make_kkt_solver(
-                    opt.kkt_solver, regularization=opt.kkt_reg, max_retries=opt.kkt_max_retries
+                    opt.kkt_solver,
+                    regularization=opt.kkt_reg,
+                    max_retries=opt.kkt_max_retries,
+                    factor_threads=opt.kkt_factor_threads,
                 )
                 for _ in range(k)
             )

@@ -1,0 +1,954 @@
+"""Same-pattern sparse LDLᵀ refactorisation backend for the MIPS KKT system.
+
+SuperLU (the ``factorized``/``blockdiag`` backends) re-runs numeric *pivoting*
+from scratch every MIPS iteration because scipy exposes no same-pattern
+refactorisation.  The KKT matrix is symmetric quasi-definite with a fixed
+sparsity pattern, which admits the classical split production interior-point
+codes use (pyomo's ``contrib.interior_point`` drives MUMPS through exactly
+this): a **symbolic phase** — fill-reducing ordering, elimination tree,
+``L``-pattern and a level schedule, computed once per pattern — and a
+**numeric phase** that refactorises new data over the frozen pattern with no
+symbolic work and roughly half the flops of an LU.
+
+The numeric phase here is *level-scheduled and batched*: columns of ``L`` are
+grouped by elimination-tree height, every level is one vectorised NumPy
+update over a ``(B, n + nnz(L))`` "column-space" plane (diagonal ``D`` slots
+followed by the ``L`` entries), and the whole batch of ``B`` same-pattern
+systems factorises simultaneously.  Per-row arithmetic is element-wise along
+the batch axis, so each system's numerics are independent of which other
+systems share the batch — the enrollment-invariance property the lockstep
+batch solver requires — and the Python-step count per factorisation is the
+number of tree levels, not ``n`` or ``nnz(L)``.
+
+Exact zero pivots (a zero-diagonal constraint row eliminated before its
+coupled primal rows) are handled by qdldl-style **dynamic pivot clamping**:
+a pivot whose finalised magnitude is below a tiny signed threshold is
+replaced by the threshold — negative on the constraint block, preserving
+quasi-definite inertia — so only degenerate pivots are perturbed and healthy
+rows keep full factorisation accuracy.  Solutions are polished with guarded
+per-row iterative refinement against the *true* (unsymmetrised, unperturbed)
+matrix, so the backend reproduces the ``factorized`` backend's trajectories
+at solver precision: the cross-backend parity suite runs the full QP/OPF
+corpus over it with identical iteration counts.  Singular systems follow the
+same contract as :class:`~repro.mips.linsolve.FactorizedSolver`: an
+escalating *signed* diagonal shift (regularisation respecting the
+quasi-definite sign structure) whose solution is accepted only when the
+residual on the unshifted system is small.
+
+Optional accelerators (``qdldl``, ``scikit-sparse``'s CHOLMOD) are used for
+scalar solves when importable — :func:`load_ldl_accelerator` probes for them —
+and the pure-NumPy path is the default so the repo works with no optional
+dependencies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.mips.linsolve import (
+    BlockSolveReport,
+    KKTSolveError,
+    KKTSolver,
+    register_kkt_solver,
+)
+from repro.utils.sparse import (
+    batched_matvec,
+    same_pattern,
+    symmetric_lower_map,
+    transpose_plan,
+)
+
+__all__ = ["LDLSolver", "LDLSymbolic", "load_ldl_accelerator"]
+
+
+# ------------------------------------------------------------------ symbolic
+class _Level:
+    """Per-level slices of the symbolic plans (one elimination-tree height)."""
+
+    __slots__ = (
+        "cols",
+        "pair_a", "pair_b", "pair_starts", "pair_targets",
+        "div_pos", "div_dslot",
+        "fwd_pos", "fwd_col", "fwd_starts", "fwd_rows",
+        "bwd_pos", "bwd_row", "bwd_starts", "bwd_cols",
+    )
+
+
+class LDLSymbolic:
+    """Symbolic analysis of one KKT sparsity pattern under one ordering.
+
+    Holds everything the numeric phase replays: the permuted lower-triangle
+    gather (:func:`~repro.utils.sparse.symmetric_lower_map`), the elimination
+    tree and the ``L`` pattern derived from it, the height-level schedule, and
+    the per-level gather/reduce index plans for the factorisation and both
+    triangular solves.  Construction is two-stage so an ordering *candidate*
+    can be costed from the cheap pattern analysis alone; :meth:`finalize`
+    expands the numeric plans only for the chosen ordering.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, n: int, perm: np.ndarray):
+        self.n = int(n)
+        self.perm = np.asarray(perm, dtype=np.int64)
+        self.template_indptr = indptr
+        self.template_indices = indices
+        self._build_pattern(indptr, indices)
+        self._finalized = False
+
+    # -------------------------------------------------------- stage 1: pattern
+    def _build_pattern(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        n = self.n
+        low_indptr, low_rows, low_src = symmetric_lower_map(indptr, indices, n, self.perm)
+        self.low_indptr = low_indptr
+        self.low_rows = low_rows
+        self.low_src = low_src
+        low_cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(low_indptr))
+
+        # Transpose view of the strict lower pattern: for each row j, the
+        # columns k < j with a stored entry — the input the etree walk needs.
+        strict = low_rows != low_cols
+        srow, scol = low_rows[strict], low_cols[strict]
+        order = np.argsort(srow, kind="stable")
+        rptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(srow, minlength=n), out=rptr[1:])
+        rcols = scol[order]
+
+        # Elimination tree (Liu's algorithm with path compression).
+        parent = np.full(n, -1, dtype=np.int64)
+        ancestor = np.full(n, -1, dtype=np.int64)
+        for j in range(n):
+            for k in rcols[rptr[j]:rptr[j + 1]]:
+                r = int(k)
+                while ancestor[r] != -1 and ancestor[r] != j:
+                    nxt = int(ancestor[r])
+                    ancestor[r] = j
+                    r = nxt
+                if ancestor[r] == -1:
+                    ancestor[r] = j
+                    parent[r] = j
+        self.parent = parent
+
+        # Row patterns of L: row i holds every node on the tree paths from
+        # the stored entries (i, k) up towards i.  Each walk step discovers a
+        # new entry of L, so the total work is O(nnz(L)).
+        marker = np.full(n, -1, dtype=np.int64)
+        li: List[int] = []
+        lj: List[int] = []
+        for i in range(n):
+            marker[i] = i
+            for k in rcols[rptr[i]:rptr[i + 1]]:
+                r = int(k)
+                while marker[r] != i:
+                    marker[r] = i
+                    li.append(i)
+                    lj.append(r)
+                    r = int(parent[r])
+        lrow = np.asarray(li, dtype=np.int64)
+        lcol = np.asarray(lj, dtype=np.int64)
+        # Canonical CSC order of L's strict lower pattern.
+        order = np.lexsort((lrow, lcol))
+        lrow, lcol = lrow[order], lcol[order]
+        self.l_rows = lrow
+        l_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(lcol, minlength=n), out=l_indptr[1:])
+        self.l_indptr = l_indptr
+        self.nnzL = int(lrow.size)
+        self.l_keys = lcol * n + lrow  # sorted ascending by construction
+
+        # Height levels: leaves are level 0, a parent sits above its children.
+        level = np.zeros(n, dtype=np.int64)
+        for j in range(n):
+            p = parent[j]
+            if p >= 0 and level[p] <= level[j]:
+                level[p] = level[j] + 1
+        self.level = level
+        self.n_levels = int(level.max()) + 1 if n else 0
+
+        counts = np.diff(l_indptr)
+        self.pair_count = int(np.sum(counts * (counts + 1) // 2))
+        #: Heuristic numeric-phase cost: contribution pairs dominate the
+        #: arithmetic, levels dominate the per-step Python overhead.
+        self.cost = float(self.pair_count) + 150.0 * self.n_levels
+
+    # ---------------------------------------------------------- stage 2: plans
+    def finalize(self) -> "LDLSymbolic":
+        """Expand the per-level gather/reduce plans (idempotent)."""
+        if self._finalized:
+            return self
+        n = self.n
+        l_indptr, l_rows, l_keys = self.l_indptr, self.l_rows, self.l_keys
+        level = self.level
+
+        # Initial scatter: original CSC data -> column-space plane positions.
+        low_cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.low_indptr))
+        diag = self.low_rows == low_cols
+        q = np.searchsorted(l_keys, low_cols * n + self.low_rows)
+        self.init_tpos = np.where(diag, low_cols, n + q)
+        self.init_src = self.low_src
+
+        # Contribution pairs: for column k with L rows r_0 < … < r_{m-1}, every
+        # ordered pair (a <= b) contributes W[r_b, k] * V[r_a, k] to output
+        # (r_b, r_a) — the D slot of r_a when a == b.  The fill rule guarantees
+        # the target exists in L's pattern.  Applied at level(r_a).
+        pa: List[np.ndarray] = []
+        pb: List[np.ndarray] = []
+        tcol: List[np.ndarray] = []
+        trow: List[np.ndarray] = []
+        for k in range(n):
+            lo, hi = int(l_indptr[k]), int(l_indptr[k + 1])
+            m = hi - lo
+            if m == 0:
+                continue
+            rows_k = l_rows[lo:hi]
+            ii, jj = np.triu_indices(m)
+            pa.append(n + lo + jj)
+            pb.append(n + lo + ii)
+            tcol.append(rows_k[ii])
+            trow.append(rows_k[jj])
+        if pa:
+            pair_a = np.concatenate(pa)
+            pair_b = np.concatenate(pb)
+            t_col = np.concatenate(tcol)
+            t_row = np.concatenate(trow)
+            on_diag = t_row == t_col
+            qq = np.searchsorted(l_keys, t_col * n + t_row)
+            t_pos = np.where(on_diag, t_col, n + qq)
+            t_level = level[t_col]
+        else:  # pragma: no cover - diagonal-only patterns
+            pair_a = pair_b = t_pos = t_level = np.zeros(0, dtype=np.int64)
+
+        l_cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(l_indptr))
+        col_level = level  # level of each column
+        entry_level = col_level[l_cols]
+
+        self.levels: List[_Level] = []
+        for lev in range(self.n_levels):
+            plan = _Level()
+            # Columns finalised at this level: every contribution targeting
+            # them has landed by this level's pair step, so their pivots are
+            # final before this level's divisions (the clamp hook point).
+            plan.cols = np.flatnonzero(level == lev)
+            # --- factor: contributions whose target column sits at this level
+            sel = np.flatnonzero(t_level == lev)
+            if sel.size:
+                ordr = sel[np.argsort(t_pos[sel], kind="stable")]
+                tp = t_pos[ordr]
+                fresh = np.ones(tp.size, dtype=bool)
+                fresh[1:] = tp[1:] != tp[:-1]
+                plan.pair_a = pair_a[ordr]
+                plan.pair_b = pair_b[ordr]
+                plan.pair_starts = np.flatnonzero(fresh)
+                plan.pair_targets = tp[fresh]
+            else:
+                plan.pair_a = np.zeros(0, dtype=np.int64)
+                plan.pair_b = plan.pair_starts = plan.pair_targets = plan.pair_a
+            # --- factor: division of this level's columns by their D
+            esel = np.flatnonzero(entry_level == lev)
+            plan.div_pos = n + esel
+            plan.div_dslot = l_cols[esel]
+            # --- forward solve: this level's entries scatter x[col] into rows
+            if esel.size:
+                ordr = esel[np.argsort(l_rows[esel], kind="stable")]
+                rows_sorted = l_rows[ordr]
+                fresh = np.ones(rows_sorted.size, dtype=bool)
+                fresh[1:] = rows_sorted[1:] != rows_sorted[:-1]
+                plan.fwd_pos = n + ordr
+                plan.fwd_col = l_cols[ordr]
+                plan.fwd_starts = np.flatnonzero(fresh)
+                plan.fwd_rows = rows_sorted[fresh]
+                # --- backward solve: entries grouped by their own column
+                # (esel is ascending and l_cols nondecreasing, so the level's
+                # entries arrive already column-contiguous).
+                ecols = l_cols[esel]
+                fresh = np.ones(ecols.size, dtype=bool)
+                fresh[1:] = ecols[1:] != ecols[:-1]
+                plan.bwd_pos = n + esel
+                plan.bwd_row = l_rows[esel]
+                plan.bwd_starts = np.flatnonzero(fresh)
+                plan.bwd_cols = ecols[fresh]
+            else:
+                z = np.zeros(0, dtype=np.int64)
+                plan.fwd_pos = plan.fwd_col = plan.fwd_starts = plan.fwd_rows = z
+                plan.bwd_pos = plan.bwd_row = plan.bwd_starts = plan.bwd_cols = z
+            self.levels.append(plan)
+
+        # CSR matvec plan of the *full* template (refinement residuals): the
+        # template's CSC arrays read as CSR describe Aᵀ, and transposing that
+        # fixed pattern once yields A's CSR with a pure data gather.
+        at_csr = sp.csr_matrix(
+            (np.arange(1.0, self.template_indices.size + 1.0),
+             self.template_indices, self.template_indptr),
+            shape=(n, n),
+        )
+        self.csr_order, self.csr_indptr, self.csr_indices = transpose_plan(at_csr)
+        self._finalized = True
+        return self
+
+
+def _etree_perms(csc: sp.csc_matrix, ordering: str) -> List[np.ndarray]:
+    """Candidate elimination orders for ``csc``'s symmetrised pattern."""
+    n = csc.shape[0]
+    natural = np.arange(n, dtype=np.int64)
+    if ordering == "natural" or n <= 2:
+        return [natural]
+    pattern = sp.csc_matrix(
+        (np.ones(csc.nnz), csc.indices, csc.indptr), shape=csc.shape
+    )
+    spd_like = (pattern + pattern.T + float(n) * sp.identity(n, format="csc")).tocsc()
+    cands: List[np.ndarray] = []
+    if ordering in ("auto", "mmd"):
+        try:
+            lu = spla.splu(spd_like, permc_spec="MMD_AT_PLUS_A")
+            perm_c = np.asarray(lu.perm_c, dtype=np.int64)
+            inv = np.empty_like(perm_c)
+            inv[perm_c] = np.arange(n, dtype=np.int64)
+            cands.append(inv)
+        except Exception:  # pragma: no cover - splu failure on a benign SPD-like
+            pass
+    if ordering in ("auto", "rcm"):
+        try:
+            from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+            rcm = np.asarray(
+                reverse_cuthill_mckee(spd_like.tocsr(), symmetric_mode=True),
+                dtype=np.int64,
+            )
+            cands.append(rcm)
+        except Exception:  # pragma: no cover - csgraph unavailable
+            pass
+    if not cands or n <= 64:
+        cands.append(natural)
+    return cands
+
+
+#: Module-level symbolic cache: analyses are pure functions of the pattern
+#: and the ordering strategy, so pattern-identical solver instances (one per
+#: ``mips()`` call) share them instead of re-walking the elimination tree.
+_SYM_CACHE: "OrderedDict[tuple, LDLSymbolic]" = OrderedDict()
+_SYM_LOCK = threading.Lock()
+_SYM_CACHE_MAX = 8
+
+
+def _symbolic_for_pattern(csc: sp.csc_matrix, ordering: str) -> LDLSymbolic:
+    digest = hashlib.sha1()
+    digest.update(np.ascontiguousarray(csc.indptr).tobytes())
+    digest.update(np.ascontiguousarray(csc.indices).tobytes())
+    key = (csc.shape, csc.nnz, ordering, digest.hexdigest())
+    with _SYM_LOCK:
+        sym = _SYM_CACHE.get(key)
+        if sym is not None:
+            _SYM_CACHE.move_to_end(key)
+            return sym
+    candidates = [
+        LDLSymbolic(csc.indptr, csc.indices, csc.shape[0], perm)
+        for perm in _etree_perms(csc, ordering)
+    ]
+    sym = min(candidates, key=lambda s: s.cost).finalize()
+    with _SYM_LOCK:
+        _SYM_CACHE[key] = sym
+        while len(_SYM_CACHE) > _SYM_CACHE_MAX:
+            _SYM_CACHE.popitem(last=False)
+    return sym
+
+
+# ------------------------------------------------------------------- numeric
+class LDLNumeric:
+    """One numeric LDLᵀ factorisation of a ``(B, nnz)`` data plane.
+
+    ``W`` holds the *undivided* column values (slot ``j < n`` is ``D[j]``,
+    slots ``n + q`` the pre-division entries ``L[i, k]·D[k]``); ``V`` holds
+    the divided ``L`` entries.  Keeping both planes lets the contribution
+    ``L[i,k]·D[k]·L[j,k]`` be formed as ``W · V`` with no diagonal gather.
+    """
+
+    __slots__ = ("sym", "W", "V")
+
+    def __init__(self, sym: LDLSymbolic, W: np.ndarray, V: np.ndarray):
+        self.sym = sym
+        self.W = W
+        self.V = V
+
+    @property
+    def D(self) -> np.ndarray:
+        return self.W[:, : self.sym.n]
+
+    def ok_rows(self) -> np.ndarray:
+        """Per-row factorisation health: finite planes and a nonzero D."""
+        finite = np.isfinite(self.W).all(axis=1) & np.isfinite(self.V).all(axis=1)
+        return finite & (self.D != 0.0).all(axis=1)
+
+    def solve(self, X: np.ndarray, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Level-scheduled ``L D Lᵀ`` solve of the ``(k, n)`` right-hand sides.
+
+        A ``(1, ·)`` factorisation broadcasts over any number of right-hand
+        sides; a ``(B, ·)`` factorisation solves its own batch row-for-row.
+        ``rows`` restricts a batched factorisation to a subset of its planes
+        (``X`` already holds just those rows) — the refinement loop uses it so
+        late polish steps only pay for the rows still active.  Every operation
+        is element-wise along the batch axis, so each row's solution is
+        bit-independent of its batch neighbours and of any ``rows`` slicing.
+        """
+        sym = self.sym
+        if rows is None or self.W.shape[0] == 1:
+            V, D = self.V, self.D
+        else:
+            V, D = self.V[rows], self.D[rows]
+        x = np.ascontiguousarray(X[:, sym.perm], dtype=float)
+        for plan in sym.levels:
+            if plan.fwd_pos.size:
+                contrib = V[:, plan.fwd_pos] * x[:, plan.fwd_col]
+                x[:, plan.fwd_rows] -= np.add.reduceat(contrib, plan.fwd_starts, axis=1)
+        x /= D
+        for plan in reversed(sym.levels):
+            if plan.bwd_pos.size:
+                contrib = V[:, plan.bwd_pos] * x[:, plan.bwd_row]
+                x[:, plan.bwd_cols] -= np.add.reduceat(contrib, plan.bwd_starts, axis=1)
+        out = np.empty_like(x)
+        out[:, sym.perm] = x
+        return out
+
+
+def _factor_planes(
+    sym: LDLSymbolic,
+    data_plane: np.ndarray,
+    shift: Optional[np.ndarray] = None,
+    clamp: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    clamped_out: Optional[np.ndarray] = None,
+) -> LDLNumeric:
+    """Numeric phase: level-scheduled batched factorisation over the plans.
+
+    ``shift`` is an optional ``(B, n)`` signed diagonal shift (the regularised
+    retry path).  ``clamp`` is an optional ``(eps, sign)`` pair of ``(B, n)``
+    planes implementing qdldl-style dynamic pivot regularisation: at each
+    level, pivots just finalised with ``|d| < eps`` are replaced by
+    ``sign · eps`` *before* their column divides — only genuinely degenerate
+    pivots are perturbed, healthy ones keep full accuracy.  Rows where any
+    clamp fired are flagged in ``clamped_out`` (a ``(B,)`` bool array).
+    Singular pivots that remain surface as zeros/NaNs in the planes — the
+    caller inspects :meth:`LDLNumeric.ok_rows` instead of catching exceptions,
+    so one batched call factors healthy and singular systems alike.
+    """
+    B = data_plane.shape[0]
+    W = np.zeros((B, sym.n + sym.nnzL))
+    W[:, sym.init_tpos] = data_plane[:, sym.init_src]
+    if shift is not None:
+        W[:, : sym.n] += shift
+    V = np.zeros_like(W)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        for plan in sym.levels:
+            if plan.pair_a.size:
+                contrib = W[:, plan.pair_a] * V[:, plan.pair_b]
+                W[:, plan.pair_targets] -= np.add.reduceat(
+                    contrib, plan.pair_starts, axis=1
+                )
+            if clamp is not None and plan.cols.size:
+                eps, sign = clamp
+                d = W[:, plan.cols]
+                tiny = np.abs(d) < eps[:, plan.cols]
+                if tiny.any():
+                    W[:, plan.cols] = np.where(
+                        tiny, sign[:, plan.cols] * eps[:, plan.cols], d
+                    )
+                    if clamped_out is not None:
+                        clamped_out |= tiny.any(axis=1)
+            if plan.div_pos.size:
+                V[:, plan.div_pos] = W[:, plan.div_pos] / W[:, plan.div_dslot]
+    return LDLNumeric(sym, W, V)
+
+
+def _refine_rows(
+    numeric: LDLNumeric,
+    matvec: Callable[[np.ndarray], np.ndarray],
+    rhs: np.ndarray,
+    x: np.ndarray,
+    tol_rel: float,
+    max_steps: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Guarded per-row iterative refinement against the true matrix.
+
+    Every accept/stop decision is row-local (a row freezes once it converges
+    or stops improving), so a row's refined solution is independent of which
+    other rows share the batch — the same invariance the factorisation
+    guarantees.  Returns ``(x, residual_inf, scale)`` per row.
+    """
+    r = rhs - matvec(x)
+    rnorm = np.abs(r).max(axis=1)
+    scale = 1.0 + np.abs(rhs).max(axis=1)
+    idx = np.flatnonzero(np.isfinite(rnorm) & (rnorm > tol_rel * scale))
+    for _ in range(max_steps):
+        if idx.size == 0:
+            break
+        # Compress to the still-active rows: late polish steps typically
+        # chase one or two stragglers, so solving only those planes turns an
+        # O(B) tail into an O(active) one without changing any row's result.
+        rows = None if idx.size == rhs.shape[0] else idx
+        dx = numeric.solve(r[idx], rows=rows)
+        x_cand = x[idx] + dx
+        r_cand = rhs[idx] - matvec(x_cand, rows=rows)
+        cnorm = np.abs(r_cand).max(axis=1)
+        prev = rnorm[idx]
+        improved = np.isfinite(cnorm) & (cnorm < prev)
+        sel = idx[improved]
+        x[sel] = x_cand[improved]
+        r[sel] = r_cand[improved]
+        rnorm[sel] = cnorm[improved]
+        # A refinable system contracts by orders of magnitude per step; a row
+        # creeping down by mere percents is riding an unstable factor and will
+        # never reach the target — freeze it now (the caller's acceptance
+        # check decides whether where it stopped is good enough).
+        contracting = cnorm[improved] <= 0.3 * prev[improved]
+        keep = sel[contracting]
+        idx = keep[rnorm[keep] > tol_rel * scale[keep]]
+    return x, rnorm, scale
+
+
+# -------------------------------------------------------------- accelerators
+class _AccelNumeric:
+    """Duck-typed stand-in for :class:`LDLNumeric` over an accelerator.
+
+    Solves row-by-row, so the per-row independence the refinement loop relies
+    on holds for accelerated factorisations too.
+    """
+
+    __slots__ = ("_accel",)
+
+    def __init__(self, accel):
+        self._accel = accel
+
+    def solve(self, X: np.ndarray, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        return np.stack([np.asarray(self._accel.solve(row), dtype=float) for row in X])
+
+
+class _QdldlAccelerator:
+    """Adapter over the ``qdldl`` package's same-pattern ``Solver``/``update``."""
+
+    name = "qdldl"
+
+    def __init__(self, module):
+        self._module = module
+        self._solver = None
+
+    def factor(self, matrix: sp.csc_matrix, fresh: bool) -> None:
+        if fresh or self._solver is None:
+            self._solver = self._module.Solver(matrix)
+        else:
+            self._solver.update(matrix)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return np.asarray(self._solver.solve(rhs), dtype=float)
+
+
+class _CholmodAccelerator:
+    """Adapter over scikit-sparse CHOLMOD (simplicial LDLᵀ, analyse-once)."""
+
+    name = "cholmod"
+
+    def __init__(self, module):
+        self._module = module
+        self._factor = None
+
+    def factor(self, matrix: sp.csc_matrix, fresh: bool) -> None:
+        if fresh or self._factor is None:
+            self._factor = self._module.analyze(matrix, mode="simplicial")
+        self._factor.cholesky_inplace(matrix)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return np.asarray(self._factor(rhs), dtype=float).reshape(rhs.shape)
+
+
+def load_ldl_accelerator(prefer: Tuple[str, ...] = ("qdldl", "cholmod")):
+    """Probe for an optional LDLᵀ accelerator; ``None`` when none importable.
+
+    ``qdldl`` (the OSQP factorisation core) is preferred: it is built for
+    exactly this quasi-definite same-pattern ``update``/re-solve cycle.
+    CHOLMOD via ``scikit-sparse`` is the second choice.  Import errors are
+    the *expected* path on a dependency-free install.
+    """
+    for name in prefer:
+        if name == "qdldl":
+            try:
+                import qdldl  # type: ignore[import-not-found]
+            except ImportError:
+                continue
+            return _QdldlAccelerator(qdldl)
+        if name == "cholmod":
+            try:
+                from sksparse import cholmod  # type: ignore[import-not-found]
+            except ImportError:
+                continue
+            return _CholmodAccelerator(cholmod)
+    return None
+
+
+# -------------------------------------------------------------------- solver
+class LDLSolver(KKTSolver):
+    """Same-pattern LDLᵀ refactorisation backend (``kkt_solver="ldl"``).
+
+    Scalar solves, the multi-RHS ``solve_many`` path, ``resolve`` and the
+    lockstep ``solve_blocks`` plane interface all share one symbolic analysis
+    per pattern and the level-scheduled batched numeric phase.  See the
+    module docstring for the algorithm; see
+    :class:`~repro.mips.linsolve.FactorizedSolver` for the regularisation
+    contract this backend mirrors (signed shifts instead of unsigned ones —
+    the quasi-definite analogue).
+
+    Parameters mirror the other backends'; ``ordering`` selects the
+    fill-reducing candidate set (``"auto"`` costs minimum-degree against
+    reverse-Cuthill-McKee and picks the cheaper numeric phase) and
+    ``accelerator`` gates the optional-dependency scalar fast path
+    (``"auto"`` probes, ``"pure"`` forces the NumPy kernels).
+    """
+
+    name = "ldl"
+    #: The batched MIPS loop checks this to route whole iterations here.
+    supports_blocks = True
+
+    #: Relative residual target of the refinement polish — orders of
+    #: magnitude below ``residual_tol`` and below a partial-pivoted LU's
+    #: typical residual on these systems, while cheap enough that warm-start
+    #: iterations converge in a couple of polish steps.
+    refine_tol = 1e-12
+    #: Refinement step cap (rows freeze on non-improvement well before this).
+    max_refine_steps = 25
+    #: Dynamic pivot-clamp threshold (relative to ``1 + |diag|``): a pivot
+    #: whose finalised magnitude falls below it is replaced by the signed
+    #: threshold, keeping no-pivoting LDLᵀ away from the exact zero pivots of
+    #: the constraint block while leaving healthy pivots untouched;
+    #: refinement removes the perturbation from clamped rows' solutions.
+    pivot_clamp = 1e-13
+
+    def __init__(
+        self,
+        regularization: float = 1e-8,
+        reg_growth: float = 100.0,
+        max_retries: int = 3,
+        residual_tol: float = 1e-6,
+        ordering: str = "auto",
+        accelerator: str = "auto",
+    ) -> None:
+        super().__init__()
+        if regularization <= 0:
+            raise ValueError("regularization must be positive")
+        if reg_growth <= 1:
+            raise ValueError("reg_growth must exceed 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if residual_tol <= 0:
+            raise ValueError("residual_tol must be positive")
+        if ordering not in ("auto", "mmd", "rcm", "natural"):
+            raise ValueError("ordering must be one of auto|mmd|rcm|natural")
+        if accelerator not in ("auto", "pure"):
+            raise ValueError("accelerator must be 'auto' or 'pure'")
+        self.regularization = regularization
+        self.reg_growth = reg_growth
+        self.max_retries = max_retries
+        self.residual_tol = residual_tol
+        self.ordering = ordering
+        self._accel = load_ldl_accelerator() if accelerator == "auto" else None
+        self._sym: Optional[LDLSymbolic] = None
+        self._indptr: Optional[np.ndarray] = None
+        self._indices: Optional[np.ndarray] = None
+        self._last_numeric: Optional[LDLNumeric] = None
+        self._last_matvec: Optional[Callable[[np.ndarray], np.ndarray]] = None
+        #: Numeric factorisations that reused a previously analysed pattern.
+        self.symbolic_reuses = 0
+        #: Numeric (re)factorisations performed, batched calls counting one.
+        self.numeric_refactorizations = 0
+        #: Batched ``solve_blocks`` factorisations (one per lockstep iteration).
+        self.block_factorizations = 0
+        #: Scalar factorisations served by an optional accelerator.
+        self.accelerated_factorizations = 0
+
+    # ----------------------------------------------------------------- symbolic
+    def _symbolic(self, csc: sp.csc_matrix) -> LDLSymbolic:
+        if self._sym is not None and same_pattern(csc, self._indptr, self._indices):
+            self.symbolic_reuses += 1
+            return self._sym
+        self._sym = _symbolic_for_pattern(csc, self.ordering)
+        self._indptr = csc.indptr
+        self._indices = csc.indices
+        self._last_numeric = None
+        self._last_matvec = None
+        return self._sym
+
+    def _matvec_for(self, sym: LDLSymbolic, data_plane: np.ndarray):
+        """Row-wise residual matvec ``X ↦ A_b @ X[b]`` over the CSR plan."""
+        csr_data = np.ascontiguousarray(data_plane[:, sym.csr_order])
+
+        def matvec(X: np.ndarray, rows: Optional[np.ndarray] = None) -> np.ndarray:
+            data = csr_data
+            if rows is not None and data.shape[0] != 1:
+                data = data[rows]
+            return batched_matvec(data, sym.csr_indptr, sym.csr_indices, X)
+
+        return matvec
+
+    # ------------------------------------------------------------ factor + heal
+    def _solve_with_recovery(
+        self, sym: LDLSymbolic, data_plane: np.ndarray, rhs_plane: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, LDLNumeric, float, float]:
+        """Factor, refine and recover the whole batch; the core numeric path.
+
+        LDLᵀ without pivoting meets *exact* zero pivots whenever the ordering
+        eliminates a zero-diagonal constraint row before its coupled primal
+        rows, so the numeric phase applies qdldl-style dynamic pivot
+        clamping: a pivot whose finalised magnitude falls below
+        ``pivot_clamp`` (scaled by the row's original diagonal) is replaced
+        by the signed threshold — negative for the constraint block,
+        preserving quasi-definite inertia.  Only degenerate pivots are
+        perturbed, so healthy rows keep full factorisation accuracy, and
+        guarded refinement against the *unperturbed* matrix polishes every
+        row to ``refine_tol``.
+
+        The AC-OPF Hessian is not always positive definite, so a fixed-order
+        factorisation can also go *unstable* (element growth) on a
+        near-singular iteration even without zero pivots.  Both failure modes
+        surface the same way — the refined residual stalls above the
+        acceptance threshold — and both are healed the same way: refactorise the
+        affected rows under an escalating **signed** diagonal shift (the
+        quasi-definite analogue of ``FactorizedSolver``'s regularised retry),
+        which bounds growth, then refine against the true matrix again.
+
+        Returns ``(x, accepted, numeric, factor_seconds, solve_seconds)``.
+        Perturbed rows (clamped or shift-recovered) face the same
+        unperturbed-residual acceptance check ``FactorizedSolver`` applies —
+        failures come back NaN; ``accepted`` flags shift recoveries that
+        passed (the rows reported as regularisations — pivot clamps are an
+        ordering artifact of the quasi-definite KKT, not a conditioning
+        event).  ``numeric`` is the factorisation backing the returned
+        solutions (the retry factor when every row was recovered — the
+        ``resolve`` surface refines against it); the timing pair splits the
+        call's wall into numeric-factorisation vs backsolve/refinement time.
+        """
+        t_enter = time.perf_counter()
+        factor_t = 0.0
+        B = data_plane.shape[0]
+        # A (1, ·) data plane broadcasts over any number of right-hand-side
+        # rows (the scalar multi-RHS surface); otherwise planes pair row-for-row.
+        R = rhs_plane.shape[0]
+        diag0 = np.zeros((B, sym.n))
+        init_diag = sym.init_tpos < sym.n
+        diag0[:, sym.init_tpos[init_diag]] = data_plane[:, sym.init_src[init_diag]]
+        # Zero (structurally absent) diagonals are the constraint block:
+        # clamp/shift them negative, preserving quasi-definite inertia.
+        sign = np.where(diag0 > 0.0, 1.0, -1.0)
+        dscale = 1.0 + np.abs(diag0)
+        eps = self.pivot_clamp * dscale
+        clamped = np.zeros(B, dtype=bool)
+        t0 = time.perf_counter()
+        numeric = _factor_planes(
+            sym, data_plane, clamp=(eps, sign), clamped_out=clamped
+        )
+        factor_t += time.perf_counter() - t0
+        self.numeric_refactorizations += 1
+        matvec = self._matvec_for(sym, data_plane)
+        x = numeric.solve(rhs_plane)
+        x, rnorm, scale = _refine_rows(
+            numeric, matvec, rhs_plane, x, self.refine_tol, self.max_refine_steps
+        )
+        finite = np.isfinite(x).all(axis=1) & np.isfinite(rnorm)
+        # Retry only rows that would fail the acceptance check below: an
+        # ill-conditioned-but-refinable system (common on the first couple of
+        # warm-start iterations, where the factor can be unstable yet
+        # refinement still lands well under ``residual_tol``) must NOT trigger
+        # the shift path — a signed shift on an indefinite Hessian block can
+        # push eigenvalues *toward* zero, so speculative retries both waste
+        # factorisations and produce worse factors.
+        stalled = ~finite | (rnorm > self.residual_tol * scale)
+        shifted = np.zeros(R, dtype=bool)
+        clamped_rows = clamped if B == R else np.broadcast_to(clamped, (R,)).copy()
+        if stalled.any() and self.max_retries:
+            reg = self.regularization
+            bad = np.flatnonzero(stalled)
+            for _ in range(self.max_retries):
+                t0 = time.perf_counter()
+                if B == 1:
+                    retry = _factor_planes(
+                        sym, data_plane, shift=sign * (reg * dscale),
+                        clamp=(eps, sign),
+                    )
+                    sub_matvec = matvec
+                else:
+                    retry = _factor_planes(
+                        sym,
+                        data_plane[bad],
+                        shift=(sign * (reg * dscale))[bad],
+                        clamp=(eps[bad], sign[bad]),
+                    )
+                    sub_matvec = self._matvec_for(sym, data_plane[bad])
+                factor_t += time.perf_counter() - t0
+                self.numeric_refactorizations += 1
+                xb = retry.solve(rhs_plane[bad])
+                xb, rb, sb = _refine_rows(
+                    retry, sub_matvec, rhs_plane[bad], xb,
+                    self.refine_tol, self.max_refine_steps,
+                )
+                okb = np.isfinite(xb).all(axis=1) & np.isfinite(rb)
+                better = okb & (~finite[bad] | (rb < rnorm[bad]))
+                rows = bad[better]
+                x[rows] = xb[better]
+                rnorm[rows] = rb[better]
+                finite[rows] = True
+                shifted[rows] = True
+                if B == 1 and better.any():
+                    numeric = retry
+                healed = okb & (rb <= self.residual_tol * sb)
+                bad = bad[~healed]
+                if bad.size == 0:
+                    break
+                reg *= self.reg_growth
+        # Same acceptance rule as FactorizedSolver: a perturbed factor's
+        # solution counts only when the residual on the *unperturbed* system
+        # is small; otherwise the row fails loudly (NaN).
+        rel_ok = finite & (rnorm <= self.residual_tol * scale)
+        dead = ~finite | ((clamped_rows | shifted) & ~rel_ok)
+        accepted = shifted & rel_ok & ~dead
+        if dead.any():
+            x[dead] = np.nan
+        solve_t = (time.perf_counter() - t_enter) - factor_t
+        return x, accepted, numeric, factor_t, solve_t
+
+    # ------------------------------------------------------------- scalar paths
+    def _accel_solve(
+        self, csc: sp.csc_matrix, sym: LDLSymbolic, rhs_plane: np.ndarray
+    ) -> Optional[Tuple["_AccelNumeric", np.ndarray]]:
+        """Optional-dependency scalar fast path; ``None`` falls back to pure.
+
+        The accelerator factors the symmetrised system once per call
+        (``update`` on pattern reuse) and backsubstitutes every right-hand
+        side; the shared refinement polish then runs against the true matrix,
+        so accelerated solutions meet the same residual target — anything the
+        accelerator cannot handle (import quirks, indefinite pivots it
+        rejects, a residual the polish cannot close) silently degrades to the
+        pure kernels.
+        """
+        if self._accel is None:
+            return None
+        try:
+            n = sym.n
+            vals = csc.data[sym.low_src]
+            lower = sp.csc_matrix(
+                (vals, sym.low_rows, sym.low_indptr), shape=(n, n)
+            )
+            full = (lower + lower.T - sp.diags(lower.diagonal())).tocsc()
+            fresh = self._last_numeric is None
+            self._accel.factor(full, fresh)
+            numeric = _AccelNumeric(self._accel)
+            x = numeric.solve(rhs_plane)
+            if not np.isfinite(x).all():
+                return None
+            self.accelerated_factorizations += 1
+            return numeric, x
+        except Exception:
+            return None
+
+    def _solve_scalar(self, kkt: sp.spmatrix, rhs_plane: np.ndarray) -> np.ndarray:
+        csc = sp.csc_matrix(kkt)
+        csc.sort_indices()
+        start = time.perf_counter()
+        sym = self._symbolic(csc)
+        data_plane = csc.data[None, :]
+        matvec = self._matvec_for(sym, data_plane)
+        accelerated = self._accel_solve(csc, sym, rhs_plane)
+        if accelerated is not None:
+            numeric, x = accelerated
+            self.numeric_refactorizations += 1
+            self.factor_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            x, rnorm, scale = _refine_rows(
+                numeric, matvec, rhs_plane, x,
+                self.refine_tol, self.max_refine_steps,
+            )
+            self.backsolve_seconds = time.perf_counter() - start
+            if np.isfinite(x).all() and (rnorm <= self.residual_tol * scale).all():
+                self._last_numeric = numeric
+                self._last_matvec = matvec
+                return x
+            # Accelerated solve missed the residual target: redo in pure
+            # NumPy (charged to the same factor/backsolve split).
+            start = time.perf_counter()
+        sym_t = time.perf_counter() - start
+        x, accepted, numeric, factor_t, solve_t = self._solve_with_recovery(
+            sym, data_plane, rhs_plane
+        )
+        self.factor_seconds = sym_t + factor_t
+        self.backsolve_seconds = solve_t
+        self._last_numeric = numeric
+        self._last_matvec = matvec
+        if not np.isfinite(x).all():
+            raise KKTSolveError(
+                f"KKT factorisation singular after {self.max_retries} "
+                f"regularised retries (ldl residual check failed)"
+            )
+        self.regularizations += int(accepted.sum())
+        return x
+
+    def solve(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        return self._solve_scalar(kkt, rhs[None, :])[0]
+
+    def solve_many(self, kkt: sp.spmatrix, rhs_block: np.ndarray) -> np.ndarray:
+        rhs_block = np.asarray(rhs_block, dtype=float)
+        if rhs_block.ndim == 1:
+            rhs_block = rhs_block[:, None]
+        return self._solve_scalar(kkt, np.ascontiguousarray(rhs_block.T)).T
+
+    def resolve(self, rhs: np.ndarray) -> np.ndarray:
+        """One extra polished backsolve against the retained factorisation."""
+        if self._last_numeric is None:
+            raise KKTSolveError("no factorisation available to resolve against")
+        start = time.perf_counter()
+        rhs_plane = np.asarray(rhs, dtype=float)[None, :]
+        x = self._last_numeric.solve(rhs_plane)
+        x, _, _ = _refine_rows(
+            self._last_numeric, self._last_matvec, rhs_plane, x,
+            self.refine_tol, self.max_refine_steps,
+        )
+        self.backsolve_seconds = time.perf_counter() - start
+        if not np.isfinite(x).all():
+            raise KKTSolveError("resolve produced non-finite values")
+        return x[0]
+
+    # -------------------------------------------------------------- block path
+    def solve_blocks(
+        self,
+        template: sp.csc_matrix,
+        data_plane: np.ndarray,
+        rhs_plane: np.ndarray,
+        direct: bool = False,
+    ) -> BlockSolveReport:
+        """Batched plane interface: one level-scheduled factorisation for ``B`` blocks.
+
+        Unlike the SuperLU block backend there is no first-call/replay split:
+        the numeric phase is already deterministic per row and independent of
+        batch composition, so ``direct`` (fresh blocks) takes the same path
+        and enrollment invariance holds by construction.
+        """
+        data_plane = np.ascontiguousarray(np.atleast_2d(np.asarray(data_plane, dtype=float)))
+        rhs_plane = np.ascontiguousarray(np.atleast_2d(np.asarray(rhs_plane, dtype=float)))
+        blocks, n = rhs_plane.shape
+        if data_plane.shape[0] != blocks:
+            raise ValueError("data plane and rhs plane must have matching batch sizes")
+        start = time.perf_counter()
+        sym = self._symbolic(template)
+        sym_t = time.perf_counter() - start
+        solutions, accepted, _, factor_t, solve_t = self._solve_with_recovery(
+            sym, data_plane, rhs_plane
+        )
+        self.block_factorizations += 1
+        self.factor_seconds = sym_t + factor_t
+        self.backsolve_seconds = solve_t
+        regs = accepted.astype(int)
+        self.regularizations += int(accepted.sum())
+        failed = [int(b) for b in np.flatnonzero(~np.isfinite(solutions).all(axis=1))]
+        return BlockSolveReport(solutions, failed, regs)
+
+
+register_kkt_solver(LDLSolver.name, LDLSolver)

@@ -27,7 +27,14 @@ swapped via :class:`~repro.mips.options.MIPSOptions`:
   plus **one** stacked backsolve per iteration.  The per-block column
   permutation is computed once and replicated, so each block's numerics are
   bit-identical to a per-slot :class:`FactorizedSolver` solve — backends stay
-  drop-in swappable.
+  drop-in swappable.  With ``factor_threads > 1`` the seasoned per-iteration
+  factorisation fans the independent blocks out on a shared thread pool
+  (bit-identical numerics, SuperLU releases the GIL).
+* ``LDLSolver`` (``repro.mips.ldl``, registered as ``"ldl"``) — same-pattern
+  sparse LDLᵀ refactorisation for the symmetric quasi-definite KKT: one
+  symbolic analysis (fill-reducing ordering, elimination tree, cached L
+  pattern) reused across every pattern-identical iteration, with only the
+  batched numeric sweep rerun.
 
 Every backend also exposes :meth:`KKTSolver.solve_many`, the multi-RHS
 backsolve path: several right-hand sides against one matrix share a single
@@ -41,7 +48,9 @@ Custom backends can be registered with :func:`register_kkt_solver`.
 from __future__ import annotations
 
 import inspect
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -60,6 +69,7 @@ __all__ = [
     "available_kkt_solvers",
     "make_kkt_solver",
     "register_kkt_solver",
+    "solver_telemetry",
 ]
 
 
@@ -201,6 +211,8 @@ class FactorizedSolver(KKTSolver):
         self._last_perm: Optional[np.ndarray] = None
         #: Factorisations that reused the cached column permutation.
         self.symbolic_reuses = 0
+        #: Total numeric factorisations performed (fresh, replayed or shifted).
+        self.numeric_refactorizations = 0
 
     # ------------------------------------------------------------------ pattern
     def _pattern_matches(self, kkt: sp.csc_matrix) -> bool:
@@ -240,9 +252,11 @@ class FactorizedSolver(KKTSolver):
             permuted.data[...] = kkt.data[self._data_order]
             lu = spla.splu(permuted, permc_spec="NATURAL")
             self.symbolic_reuses += 1
+            self.numeric_refactorizations += 1
             return lu, self._perm_c
         lu = spla.splu(kkt)
         self._cache_pattern(kkt, lu)
+        self.numeric_refactorizations += 1
         return lu, None
 
     def solve(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
@@ -256,7 +270,13 @@ class FactorizedSolver(KKTSolver):
         return self._solve_rhs(kkt, rhs_block)
 
     def resolve(self, rhs: np.ndarray) -> np.ndarray:
-        """One extra back-substitution against the most recent factorisation."""
+        """One extra back-substitution against the most recent factorisation.
+
+        Like ``solve``, the timing attributes describe *this call only*:
+        ``backsolve_seconds`` is assigned (not accumulated), so callers mixing
+        ``solve``/``resolve`` sequences aggregate per-call splits themselves
+        and phase totals never double-count.
+        """
         if self._last_lu is None:
             raise KKTSolveError("no factorisation available to resolve against")
         start = time.perf_counter()
@@ -265,7 +285,7 @@ class FactorizedSolver(KKTSolver):
             unpermuted = np.empty_like(sol)
             unpermuted[self._last_perm] = sol
             sol = unpermuted
-        self.backsolve_seconds += time.perf_counter() - start
+        self.backsolve_seconds = time.perf_counter() - start
         return np.asarray(sol, dtype=float)
 
     def _solve_rhs(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
@@ -336,11 +356,59 @@ class FactorizedSolver(KKTSolver):
                 continue
             except Exception as exc:
                 raise KKTSolveError(f"KKT factorisation failed: {exc}") from exc
+            self.numeric_refactorizations += 1
             return lu, None
         raise KKTSolveError(
             f"KKT factorisation singular after {self.max_retries} "
             f"regularised retries (last shift {reg / self.reg_growth:g})"
         ) from last_error
+
+
+#: Counter attributes harvested into per-solve factorisation telemetry.
+_TELEMETRY_COUNTERS = (
+    "symbolic_reuses",
+    "numeric_refactorizations",
+    "block_factorizations",
+    "block_fallbacks",
+    "accelerated_factorizations",
+)
+
+
+def solver_telemetry(solver: KKTSolver) -> Dict[str, int]:
+    """Factorisation telemetry counters exposed by ``solver``.
+
+    Backends advertise whichever of the known counters they maintain
+    (symbolic-analysis reuses, numeric refactorisations, batched block
+    factorisations, per-block fallbacks, accelerator hits); absent counters
+    are simply omitted, so the harvest works uniformly across built-in and
+    registered backends.  The MIPS loops surface this dict on
+    ``MIPSResult.kkt_telemetry`` for the Fig. 5 symbolic-vs-numeric
+    attribution.
+    """
+    out: Dict[str, int] = {}
+    for name in _TELEMETRY_COUNTERS:
+        value = getattr(solver, name, None)
+        if value is not None:
+            out[name] = int(value)
+    return out
+
+
+#: Shared per-process executors for threaded block factorisation, keyed by
+#: worker count.  Threads are reused across solver instances and iterations
+#: (SuperLU releases the GIL in its heavy kernels, so per-block work scales).
+_FACTOR_EXECUTORS: Dict[int, ThreadPoolExecutor] = {}
+_FACTOR_EXECUTOR_LOCK = threading.Lock()
+
+
+def _factor_executor(workers: int) -> ThreadPoolExecutor:
+    with _FACTOR_EXECUTOR_LOCK:
+        pool = _FACTOR_EXECUTORS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="kkt-factor"
+            )
+            _FACTOR_EXECUTORS[workers] = pool
+        return pool
 
 
 class BlockSolveReport:
@@ -406,8 +474,11 @@ class BlockDiagSolver(KKTSolver):
         reg_growth: float = 100.0,
         max_retries: int = 3,
         residual_tol: float = 1e-6,
+        factor_threads: int = 1,
     ) -> None:
         super().__init__()
+        if factor_threads < 1:
+            raise ValueError("factor_threads must be at least 1")
         self._scalar = FactorizedSolver(
             regularization=regularization,
             reg_growth=reg_growth,
@@ -418,22 +489,31 @@ class BlockDiagSolver(KKTSolver):
         self.reg_growth = reg_growth
         self.max_retries = max_retries
         self.residual_tol = residual_tol
+        #: Worker threads for per-block factor/backsolve (1 = serial, the
+        #: single big block-diagonal factorisation).
+        self.factor_threads = factor_threads
         self._pattern_key: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._perm: Optional[np.ndarray] = None
         self._order: Optional[np.ndarray] = None
         self._perm_indptr: Optional[np.ndarray] = None
         self._perm_indices: Optional[np.ndarray] = None
         self._plans: Dict[int, BlockDiagPlan] = {}
-        #: Big-matrix factorisations performed (one per lockstep iteration).
+        #: Batched factorisations performed (one per lockstep iteration).
         self.block_factorizations = 0
         #: Iterations that fell back to per-block solves (singular block present).
         self.block_fallbacks = 0
+        #: Factorisations that reused the cached column permutation.
+        self.symbolic_reuses = 0
+        #: Total numeric factorisations performed across scalar and block paths.
+        self.numeric_refactorizations = 0
 
     # ----------------------------------------------------------- scalar interface
     def _mirror_scalar(self) -> None:
         self.factor_seconds = self._scalar.factor_seconds
         self.backsolve_seconds = self._scalar.backsolve_seconds
         self.regularizations = self._scalar.regularizations
+        self.symbolic_reuses = self._scalar.symbolic_reuses
+        self.numeric_refactorizations = self._scalar.numeric_refactorizations
 
     def solve(self, kkt: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
         try:
@@ -462,6 +542,83 @@ class BlockDiagSolver(KKTSolver):
             residual_tol=self.residual_tol,
         )
 
+    def _run_blocks(
+        self,
+        template: sp.csc_matrix,
+        data_plane: np.ndarray,
+        rhs_plane: np.ndarray,
+        solutions: np.ndarray,
+        regs: np.ndarray,
+        failed: List[int],
+        seeded: bool,
+    ) -> Tuple[float, float]:
+        """Per-block solves through scratch :class:`FactorizedSolver` instances.
+
+        ``seeded=False`` runs the per-slot *direct*-``splu`` first-iteration
+        semantics (and harvests the column-permutation cache of the first
+        cleanly factorised block); ``seeded=True`` pre-seeds every scratch
+        solver with the shared cached permutation so healthy blocks replay
+        the ``NATURAL`` factorisation bit-identically to the big
+        block-diagonal factor.  Blocks are independent, so with
+        ``factor_threads > 1`` they are dispatched on the shared
+        :func:`_factor_executor` thread pool (SuperLU releases the GIL in its
+        numeric kernels); results, counters and the permutation harvest are
+        aggregated in block order either way, keeping every outcome —
+        solutions included — bit-identical to the serial path.  Returns the
+        summed per-block ``(factor_seconds, backsolve_seconds)``.
+        """
+        n = template.shape[0]
+
+        def run(b: int):
+            slot = self._make_slot_solver()
+            if seeded:
+                slot._indptr = template.indptr
+                slot._indices = template.indices
+                slot._perm_c = self._perm
+                slot._data_order = self._order
+                slot._permuted = sp.csc_matrix(
+                    (np.empty(template.nnz), self._perm_indices, self._perm_indptr),
+                    shape=(n, n),
+                )
+            try:
+                sol = slot.solve(
+                    csc_from_template(template, data_plane[b]), rhs_plane[b]
+                )
+            except KKTSolveError:
+                sol = None
+            return slot, sol
+
+        count = data_plane.shape[0]
+        if self.factor_threads > 1 and count > 1:
+            results = list(
+                _factor_executor(self.factor_threads).map(run, range(count))
+            )
+        else:
+            results = [run(b) for b in range(count)]
+
+        factor = backsolve = 0.0
+        for b, (slot, sol) in enumerate(results):
+            if sol is None:
+                solutions[b] = np.nan
+                failed.append(b)
+            else:
+                solutions[b] = sol
+                regs[b] += slot.regularizations
+                self.regularizations += slot.regularizations
+            factor += slot.factor_seconds
+            backsolve += slot.backsolve_seconds
+            self.numeric_refactorizations += slot.numeric_refactorizations
+            self.symbolic_reuses += slot.symbolic_reuses
+            if not seeded and self._perm is None and slot._perm_c is not None:
+                # Harvest the pattern cache of the first cleanly factorised
+                # block: identical formula to FactorizedSolver._cache_pattern,
+                # so the NATURAL replay matches the per-slot one bit for bit.
+                self._perm = slot._perm_c
+                self._order = slot._data_order
+                self._perm_indptr = slot._permuted.indptr
+                self._perm_indices = slot._permuted.indices
+        return factor, backsolve
+
     def _first_call_blocks(
         self,
         template: sp.csc_matrix,
@@ -481,28 +638,9 @@ class BlockDiagSolver(KKTSolver):
         factorisation takes over from the second iteration on, using the
         column permutation cached here.
         """
-        factor = backsolve = 0.0
-        for b in range(data_plane.shape[0]):
-            slot = self._make_slot_solver()
-            try:
-                solutions[b] = slot.solve(
-                    csc_from_template(template, data_plane[b]), rhs_plane[b]
-                )
-                regs[b] += slot.regularizations
-                self.regularizations += slot.regularizations
-            except KKTSolveError:
-                solutions[b] = np.nan
-                failed.append(b)
-            factor += slot.factor_seconds
-            backsolve += slot.backsolve_seconds
-            if self._perm is None and slot._perm_c is not None:
-                # Harvest the pattern cache of the first cleanly factorised
-                # block: identical formula to FactorizedSolver._cache_pattern,
-                # so the NATURAL replay matches the per-slot one bit for bit.
-                self._perm = slot._perm_c
-                self._order = slot._data_order
-                self._perm_indptr = slot._permuted.indptr
-                self._perm_indices = slot._permuted.indices
+        factor, backsolve = self._run_blocks(
+            template, data_plane, rhs_plane, solutions, regs, failed, seeded=False
+        )
         self.factor_seconds = factor
         self.backsolve_seconds = backsolve
 
@@ -535,26 +673,9 @@ class BlockDiagSolver(KKTSolver):
         and neighbours of a regularised block are unaffected down to the last
         bit.
         """
-        n = template.shape[0]
-        for b in range(data_plane.shape[0]):
-            slot = self._make_slot_solver()
-            slot._indptr = template.indptr
-            slot._indices = template.indices
-            slot._perm_c = self._perm
-            slot._data_order = self._order
-            slot._permuted = sp.csc_matrix(
-                (np.empty(template.nnz), self._perm_indices, self._perm_indptr),
-                shape=(n, n),
-            )
-            try:
-                solutions[b] = slot.solve(
-                    csc_from_template(template, data_plane[b]), rhs_plane[b]
-                )
-                regs[b] += slot.regularizations
-                self.regularizations += slot.regularizations
-            except KKTSolveError:
-                solutions[b] = np.nan
-                failed.append(b)
+        self._run_blocks(
+            template, data_plane, rhs_plane, solutions, regs, failed, seeded=True
+        )
 
     def solve_blocks(
         self,
@@ -607,6 +728,21 @@ class BlockDiagSolver(KKTSolver):
             self._first_call_blocks(template, data_plane, rhs_plane, solutions, regs, failed)
             return BlockSolveReport(solutions, failed, regs)
 
+        if self.factor_threads > 1 and blocks > 1:
+            # Threaded seasoned path: factor the independent blocks
+            # concurrently through permutation-seeded scratch solvers instead
+            # of one serial big factorisation.  Each block replays the shared
+            # cached ``NATURAL`` permutation — the same replay the big
+            # block-diagonal factor performs — so per-block numerics are
+            # bit-identical to the serial path.
+            self.block_factorizations += 1
+            factor, backsolve = self._run_blocks(
+                template, data_plane, rhs_plane, solutions, regs, failed, seeded=True
+            )
+            self.factor_seconds = factor
+            self.backsolve_seconds = backsolve
+            return BlockSolveReport(solutions, failed, regs)
+
         start = time.perf_counter()
         data_perm = np.ascontiguousarray(data_plane[:, self._order])
         plan = self._plan_for(blocks, n)
@@ -629,6 +765,10 @@ class BlockDiagSolver(KKTSolver):
             self.backsolve_seconds = 0.0
             raise KKTSolveError(f"KKT factorisation failed: {exc}") from exc
         self.block_factorizations += 1
+        # One batched numeric factorisation over the cached symbolic analysis
+        # (shared column permutation + scatter order) covers every block.
+        self.symbolic_reuses += 1
+        self.numeric_refactorizations += 1
         self.factor_seconds = time.perf_counter() - start
 
         start = time.perf_counter()

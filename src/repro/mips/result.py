@@ -91,6 +91,14 @@ class MIPSResult:
     #: regularisation (0 for a well-posed solve; non-zero flags
     #: ill-conditioning that the seed solver would have failed hard on).
     kkt_regularizations: int = 0
+    #: Factorisation telemetry harvested from the KKT backend at the end of
+    #: the solve (``repro.mips.linsolve.solver_telemetry``): whichever of
+    #: ``symbolic_reuses``, ``numeric_refactorizations``,
+    #: ``block_factorizations``, ``block_fallbacks`` and
+    #: ``accelerated_factorizations`` the backend maintains.  Lets the Fig. 5
+    #: breakdown attribute factorisation time to symbolic analysis vs numeric
+    #: sweeps per backend.
+    kkt_telemetry: Dict[str, int] = field(default_factory=dict)
     #: True when the solve was terminated by a wall deadline or per-solve
     #: wall budget (``message`` carries the detail) — a resource outcome, not
     #: a numerical failure.

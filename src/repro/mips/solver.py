@@ -36,7 +36,7 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.mips.linsolve import KKTSolveError, make_kkt_solver
+from repro.mips.linsolve import KKTSolveError, make_kkt_solver, solver_telemetry
 from repro.mips.options import MIPSOptions
 from repro.mips.result import ConstraintPartition, IterationRecord, MIPSResult
 from repro.utils.logging import get_logger
@@ -361,6 +361,7 @@ def mips(
         opt.kkt_solver,
         regularization=opt.kkt_reg,
         max_retries=opt.kkt_max_retries,
+        factor_threads=opt.kkt_factor_threads,
     )
     assembler = _KKTAssembler()
     phase = {"eval": 0.0, "assembly": 0.0, "factorization": 0.0, "backsolve": 0.0}
@@ -512,17 +513,20 @@ def mips(
             phase["factorization"] += kkt_solver.factor_seconds
             message = "numerically failed (singular KKT system)"
             break
+        factor_seconds = kkt_solver.factor_seconds
+        backsolve_seconds = kkt_solver.backsolve_seconds
         # Optional iterative refinement: each sweep re-solves the residual
         # against the iteration's factorisation (one extra back-substitution
         # on retaining backends — the scalar multi-RHS reuse path).  Backends
-        # without a retained factorisation simply skip refinement.
+        # without a retained factorisation simply skip refinement.  ``resolve``
+        # reports per-call timings, so each sweep's backsolve is accumulated
+        # here rather than by the backend.
         for _ in range(opt.kkt_refine_steps):
             try:
                 sol = sol + kkt_solver.resolve(rhs - kkt @ sol)
             except KKTSolveError:
                 break
-        factor_seconds = kkt_solver.factor_seconds
-        backsolve_seconds = kkt_solver.backsolve_seconds
+            backsolve_seconds += kkt_solver.backsolve_seconds
         phase["factorization"] += factor_seconds
         phase["backsolve"] += backsolve_seconds
         if not np.all(np.isfinite(sol)):
@@ -640,5 +644,6 @@ def mips(
         elapsed_seconds=elapsed,
         phase_seconds=dict(phase),
         kkt_regularizations=kkt_solver.regularizations,
+        kkt_telemetry=solver_telemetry(kkt_solver),
         timed_out=timed_out,
     )

@@ -40,6 +40,10 @@ class OPFResult:
     solve_seconds: float = 0.0
     #: Per-phase solver time (eval / assembly / factorization / backsolve).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: KKT backend factorisation counters (symbolic reuses, numeric
+    #: refactorisations, block factorisations …) harvested from the solve —
+    #: see ``MIPSResult.kkt_telemetry``.
+    kkt_telemetry: Dict[str, int] = field(default_factory=dict)
     #: True when the solve was cut short by a wall deadline or per-solve wall
     #: budget rather than a numerical outcome (see ``MIPSResult.timed_out``).
     timed_out: bool = False
@@ -98,6 +102,7 @@ def build_opf_result(
         # ``solve_seconds`` comparable and summable in both execution modes.
         solve_seconds=mips_result.share_seconds,
         phase_seconds=dict(mips_result.phase_seconds),
+        kkt_telemetry=dict(mips_result.kkt_telemetry),
         timed_out=mips_result.timed_out,
         Pd_mw=None if Pd_mw is None else np.asarray(Pd_mw, dtype=float).copy(),
         Qd_mvar=None if Qd_mvar is None else np.asarray(Qd_mvar, dtype=float).copy(),

@@ -132,6 +132,10 @@ class ScenarioOutcome:
     fallback_seconds: float = 0.0
     #: Per-phase solver times of the solve that produced the final answer.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: KKT backend factorisation counters of the final solve (symbolic
+    #: reuses, numeric refactorisations, block factorisations …) — the Fig. 5
+    #: attribution inputs, harvested from ``OPFResult.kkt_telemetry``.
+    kkt_telemetry: Dict[str, int] = field(default_factory=dict)
     #: Final primal/dual variables (present when solutions were requested).
     solution: Optional[ScenarioSolution] = None
     #: Crash/error retries of the tasks that carried this scenario (0 for a
@@ -497,6 +501,7 @@ def _outcome_for(
         objective_fallback=recovered.objective if recovered is not None else float("nan"),
         fallback_seconds=fallback_seconds,
         phase_seconds=dict(final.phase_seconds),
+        kkt_telemetry=dict(getattr(final, "kkt_telemetry", {}) or {}),
         solution=solution,
         timed_out=first.timed_out or (recovered is not None and recovered.timed_out),
     )

@@ -55,6 +55,7 @@ __all__ = [
     "pattern_union",
     "row_scaled_csr",
     "same_pattern",
+    "symmetric_lower_map",
     "transpose_plan",
 ]
 
@@ -482,6 +483,51 @@ def pattern_union(matrices: Sequence[sp.spmatrix]) -> Tuple[sp.csr_matrix, List[
         np.searchsorted(keys, _pattern_keys(m)).astype(np.intp) for m in canon
     ]
     return template, positions
+
+
+def symmetric_lower_map(
+    indptr: np.ndarray, indices: np.ndarray, n: int, perm: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lower-triangle pattern of the symmetric permutation of a CSC pattern.
+
+    For the ``n × n`` CSC pattern ``(indptr, indices)`` of a (structurally
+    symmetric or near-symmetric) matrix ``A`` and an elimination order
+    ``perm`` (``perm[j]`` = original index eliminated at step ``j``), the
+    permuted matrix is ``B[i, j] = A[perm[i], perm[j]]``.  Returns
+    ``(low_indptr, low_indices, source)`` describing the lower triangle
+    (diagonal included) of the *symmetrised* pattern of ``B`` in canonical CSC
+    order, where ``source[q]`` is the storage position of the original CSC
+    entry whose value populates lower entry ``q``.
+
+    When both ``B[i, j]`` and its mirror ``B[j, i]`` are stored, the entry
+    that already lies in ``B``'s lower triangle is preferred — a
+    deterministic choice, so same-pattern replays gather identical values
+    even for matrices that are symmetric only up to roundoff.
+    """
+    indptr = np.asarray(indptr)
+    indices = np.asarray(indices)
+    nnz = int(indices.size)
+    inv = np.empty(n, dtype=np.int64)
+    inv[np.asarray(perm, dtype=np.int64)] = np.arange(n, dtype=np.int64)
+    cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    # Coordinates in the permuted matrix B.
+    bi = inv[indices]
+    bj = inv[cols]
+    low_row = np.maximum(bi, bj)
+    low_col = np.minimum(bi, bj)
+    key = low_col * n + low_row
+    direct = bi >= bj  # the entry already lies in B's lower triangle
+    order = np.lexsort((~direct, key))  # within a key group, direct first
+    key_sorted = key[order]
+    first = np.ones(nnz, dtype=bool)
+    first[1:] = key_sorted[1:] != key_sorted[:-1]
+    chosen = order[first]
+    unique_keys = key_sorted[first]
+    low_cols = unique_keys // n
+    low_rows = unique_keys % n
+    low_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(low_cols, minlength=n), out=low_indptr[1:])
+    return low_indptr, low_rows.astype(np.int64), chosen.astype(np.intp)
 
 
 def transpose_plan(matrix: sp.spmatrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

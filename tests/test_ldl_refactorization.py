@@ -1,0 +1,275 @@
+"""Property tests for the same-pattern LDLᵀ refactorisation backend.
+
+The ``ldl`` backend promises drop-in agreement with the SuperLU-family
+backends over the symmetric quasi-definite KKT systems the interior-point
+loop actually produces, plus three structural guarantees of its own:
+
+* **same-pattern reuse** — one symbolic analysis serves every numeric
+  refactorisation with an identical sparsity pattern (the telemetry counters
+  expose the reuse so Fig. 5 attribution can see it),
+* **enrollment invariance** — a row's batched solution is bit-identical to
+  its solo solution, the property the lockstep batch scheduler relies on,
+* **loud failure** — singular systems that the signed-shift recovery cannot
+  heal reject with :class:`KKTSolveError` instead of returning garbage
+  (residual acceptance against the *unperturbed* matrix).
+
+The optional-dependency accelerator path is exercised with a fake ``qdldl``
+module injected into ``sys.modules`` — both the happy path (accelerated
+factorisations are counted and refined to the same residual target) and the
+degraded path (a broken accelerator silently falls back to the pure kernels).
+"""
+
+import sys
+import types
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings, strategies as st
+
+from repro.mips import KKTSolveError, FactorizedSolver, solver_telemetry
+from repro.mips.ldl import LDLSolver, load_ldl_accelerator
+
+
+def _random_kkt(seed, n=12, m=4):
+    """A symmetric quasi-definite KKT: SPD Hessian block over a zero block.
+
+    The (2,2) constraint block is *structurally* empty, so a fill-reducing
+    ordering can (and does) meet exact zero pivots — the dynamic pivot-clamp
+    path is part of the contract under test, not an edge case.
+    """
+    rng = np.random.RandomState(seed)
+    H = sp.random(n, n, density=0.3, random_state=rng)
+    H = sp.csc_matrix(H + H.T + sp.diags(rng.uniform(2.0, 4.0, n)))
+    A = sp.random(m, n, density=0.5, random_state=rng, format="lil")
+    for i in range(m):  # full row rank: every constraint touches a variable
+        A[i, (i * 3) % n] = 1.0 + rng.uniform(0.0, 1.0)
+    kkt = sp.bmat([[H, A.T], [sp.csc_matrix(A), None]], format="csc")
+    kkt.sort_indices()
+    return kkt, rng.standard_normal(n + m)
+
+
+# ------------------------------------------------------------------ agreement
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_matches_factorized_on_quasi_definite_kkts(seed):
+    kkt, rhs = _random_kkt(seed)
+    x_ldl = LDLSolver(accelerator="pure").solve(kkt, rhs)
+    x_ref = FactorizedSolver().solve(kkt, rhs)
+    np.testing.assert_allclose(x_ldl, x_ref, atol=1e-10, rtol=1e-10)
+    # The solution satisfies the system to the refinement target, not merely
+    # to the acceptance threshold.
+    resid = np.abs(kkt @ x_ldl - rhs).max() / (1.0 + np.abs(rhs).max())
+    assert resid < 1e-9
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_ordering_choices_agree(seed):
+    kkt, rhs = _random_kkt(seed, n=10, m=3)
+    sols = [
+        LDLSolver(ordering=ordering, accelerator="pure").solve(kkt, rhs)
+        for ordering in ("auto", "mmd", "rcm", "natural")
+    ]
+    for got in sols[1:]:
+        np.testing.assert_allclose(got, sols[0], atol=1e-9, rtol=1e-9)
+
+
+# -------------------------------------------------------------- symbolic reuse
+def test_symbolic_analysis_reused_across_same_pattern_solves():
+    kkt, rhs = _random_kkt(3)
+    solver = LDLSolver(accelerator="pure")
+    solver.solve(kkt, rhs)
+    assert solver.symbolic_reuses == 0
+    assert solver.numeric_refactorizations >= 1
+    # Same pattern, new values: the symbolic phase must not rerun.
+    kkt2 = kkt.copy()
+    kkt2.data = kkt2.data * 1.1
+    solver.solve(kkt2, rhs)
+    assert solver.symbolic_reuses == 1
+    # Pattern change: back to a fresh analysis, then reuse resumes.
+    bigger, rhs_b = _random_kkt(4, n=14, m=5)
+    solver.solve(bigger, rhs_b)
+    assert solver.symbolic_reuses == 1
+    solver.solve(bigger, rhs_b * 2.0)
+    assert solver.symbolic_reuses == 2
+
+
+def test_telemetry_harvest_exposes_ldl_counters():
+    kkt, rhs = _random_kkt(5)
+    solver = LDLSolver(accelerator="pure")
+    solver.solve(kkt, rhs)
+    telemetry = solver_telemetry(solver)
+    assert telemetry["numeric_refactorizations"] >= 1
+    assert telemetry["symbolic_reuses"] == 0
+    assert "accelerated_factorizations" in telemetry
+
+
+# -------------------------------------------------------- enrollment invariance
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_batched_rows_bitwise_match_solo_solves(seed):
+    kkt, _ = _random_kkt(seed)
+    rng = np.random.RandomState(seed + 1)
+    B = 5
+    scale = 1.0 + rng.uniform(0.0, 0.2, size=B)
+    data_plane = np.ascontiguousarray(scale[:, None] * kkt.data[None, :])
+    rhs_plane = rng.standard_normal((B, kkt.shape[0]))
+
+    batch = LDLSolver(accelerator="pure")
+    report = batch.solve_blocks(kkt, data_plane, rhs_plane)
+    assert not report.failed
+    assert batch.block_factorizations == 1
+    for b in range(B):
+        solo = LDLSolver(accelerator="pure")
+        solo_report = solo.solve_blocks(kkt, data_plane[b : b + 1], rhs_plane[b : b + 1])
+        np.testing.assert_array_equal(report.solutions[b], solo_report.solutions[0])
+
+
+# ----------------------------------------------------------- recovery/rejection
+def test_degenerate_but_solvable_system_recovers():
+    """An exactly-zero pivot under the natural ordering is clamped and
+    refined away — the solve succeeds without any regularisation event."""
+    kkt = sp.csc_matrix(
+        np.array(
+            [
+                [4.0, 0.0, 1.0],
+                [0.0, 3.0, 1.0],
+                [1.0, 1.0, 0.0],
+            ]
+        )
+    )
+    kkt.sort_indices()
+    rhs = np.array([1.0, -2.0, 0.5])
+    solver = LDLSolver(ordering="natural", accelerator="pure")
+    x = solver.solve(kkt, rhs)
+    np.testing.assert_allclose(kkt @ x, rhs, atol=1e-10)
+
+
+def test_singular_system_raises_instead_of_returning_garbage():
+    kkt = sp.csc_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+    kkt.sort_indices()
+    solver = LDLSolver(accelerator="pure")
+    with pytest.raises(KKTSolveError):
+        solver.solve(kkt, np.array([1.0, 2.0]))
+
+
+def test_singular_block_row_fails_alone_not_the_batch():
+    kkt, _ = _random_kkt(7)
+    n = kkt.shape[0]
+    data_plane = np.vstack([kkt.data, np.zeros_like(kkt.data)])
+    rhs_plane = np.ones((2, n))
+    solver = LDLSolver(accelerator="pure")
+    report = solver.solve_blocks(kkt, data_plane, rhs_plane)
+    assert report.failed == [1]
+    assert np.isfinite(report.solutions[0]).all()
+    np.testing.assert_allclose(kkt @ report.solutions[0], rhs_plane[0], atol=1e-8)
+
+
+# ------------------------------------------------------- multi-RHS and resolve
+def test_solve_many_and_resolve_share_one_factorisation():
+    kkt, rhs = _random_kkt(9)
+    rng = np.random.RandomState(2)
+    rhs_block = rng.standard_normal((kkt.shape[0], 3))
+    solver = LDLSolver(accelerator="pure")
+    block = solver.solve_many(kkt, rhs_block)
+    factored = solver.numeric_refactorizations
+    for j in range(3):
+        np.testing.assert_allclose(
+            block[:, j], LDLSolver(accelerator="pure").solve(kkt, rhs_block[:, j]),
+            atol=1e-10,
+        )
+    # resolve refines against the retained factorisation — no new numeric work.
+    extra = solver.resolve(rhs)
+    assert solver.numeric_refactorizations == factored
+    np.testing.assert_allclose(kkt @ extra, rhs, atol=1e-8)
+
+
+# ------------------------------------------------------------ accelerator path
+class _FakeQdldlSolver:
+    """Stands in for ``qdldl.Solver``: correct answers via dense LU."""
+
+    instances = 0
+    updates = 0
+
+    def __init__(self, matrix):
+        type(self).instances += 1
+        self._lu = spla.splu(sp.csc_matrix(matrix))
+
+    def update(self, matrix):
+        type(self).updates += 1
+        self._lu = spla.splu(sp.csc_matrix(matrix))
+
+    def solve(self, rhs):
+        return self._lu.solve(np.asarray(rhs, dtype=float))
+
+
+class _BrokenQdldlSolver:
+    def __init__(self, matrix):
+        self._n = matrix.shape[0]
+
+    def update(self, matrix):
+        pass
+
+    def solve(self, rhs):
+        return np.full(self._n, np.nan)
+
+
+def _install_fake_qdldl(monkeypatch, solver_cls):
+    fake = types.ModuleType("qdldl")
+    fake.Solver = solver_cls
+    monkeypatch.setitem(sys.modules, "qdldl", fake)
+    return fake
+
+
+def test_accelerator_probe_prefers_qdldl(monkeypatch):
+    _install_fake_qdldl(monkeypatch, _FakeQdldlSolver)
+    accel = load_ldl_accelerator()
+    assert accel is not None and accel.name == "qdldl"
+
+
+def test_accelerated_scalar_solves_count_and_match_pure(monkeypatch):
+    _install_fake_qdldl(monkeypatch, _FakeQdldlSolver)
+    _FakeQdldlSolver.instances = 0
+    _FakeQdldlSolver.updates = 0
+    kkt, rhs = _random_kkt(11)
+    solver = LDLSolver()  # accelerator="auto" probes and finds the fake
+    x = solver.solve(kkt, rhs)
+    assert solver.accelerated_factorizations == 1
+    assert _FakeQdldlSolver.instances == 1
+    # Same pattern again: the accelerator's same-pattern update path runs.
+    kkt2 = kkt.copy()
+    kkt2.data = kkt2.data * 1.05
+    solver.solve(kkt2, rhs)
+    assert solver.accelerated_factorizations == 2
+    assert _FakeQdldlSolver.updates == 1
+    np.testing.assert_allclose(
+        x, LDLSolver(accelerator="pure").solve(kkt, rhs), atol=1e-9
+    )
+
+
+def test_broken_accelerator_degrades_to_pure_kernels(monkeypatch):
+    _install_fake_qdldl(monkeypatch, _BrokenQdldlSolver)
+    kkt, rhs = _random_kkt(13)
+    solver = LDLSolver()
+    x = solver.solve(kkt, rhs)
+    assert solver.accelerated_factorizations == 0
+    np.testing.assert_allclose(kkt @ x, rhs, atol=1e-9)
+
+
+# ------------------------------------------------------------------ validation
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"regularization": 0.0},
+        {"reg_growth": 1.0},
+        {"max_retries": -1},
+        {"residual_tol": 0.0},
+        {"ordering": "amd"},
+        {"accelerator": "gpu"},
+    ],
+)
+def test_constructor_rejects_bad_parameters(kwargs):
+    with pytest.raises(ValueError):
+        LDLSolver(**kwargs)
