@@ -11,8 +11,18 @@ from repro.engine.fallback import (
     RelaxedWarmRetryFallback,
     get_fallback_policy,
 )
+from repro.engine.drift import (
+    DRIFT_STATUSES,
+    DriftDetector,
+    DriftMonitor,
+    DriftReport,
+    PageHinkley,
+    RollingTrend,
+    SignalReport,
+    default_detectors,
+)
 from repro.engine.records import OnlineEvaluation, OnlineRecord
-from repro.engine.engine import PERSISTED_FALLBACK, WarmStartEngine
+from repro.engine.engine import PERSISTED_FALLBACK, ServingModel, WarmStartEngine
 from repro.engine.artifact import (
     ARTIFACT_VERSION,
     ArtifactCorruptError,
@@ -22,9 +32,17 @@ from repro.engine.artifact import (
     load_artifact,
     save_artifact,
 )
+from repro.engine.lifecycle import (
+    ModelLifecycle,
+    PromotionResult,
+    ShadowGate,
+    ShadowMetrics,
+    ShadowReport,
+)
 
 __all__ = [
     "WarmStartEngine",
+    "ServingModel",
     "PERSISTED_FALLBACK",
     "OnlineRecord",
     "OnlineEvaluation",
@@ -37,6 +55,14 @@ __all__ = [
     "get_fallback_policy",
     "HealthWindow",
     "CircuitBreaker",
+    "DRIFT_STATUSES",
+    "DriftDetector",
+    "DriftMonitor",
+    "DriftReport",
+    "PageHinkley",
+    "RollingTrend",
+    "SignalReport",
+    "default_detectors",
     "ARTIFACT_VERSION",
     "ArtifactError",
     "ArtifactMismatchError",
@@ -44,4 +70,9 @@ __all__ = [
     "case_fingerprint",
     "save_artifact",
     "load_artifact",
+    "ModelLifecycle",
+    "PromotionResult",
+    "ShadowGate",
+    "ShadowMetrics",
+    "ShadowReport",
 ]

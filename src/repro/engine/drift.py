@@ -1,0 +1,386 @@
+"""Predictive drift detection over the serving engine's per-request signals.
+
+The reactive health machinery (:class:`~repro.engine.fallback.HealthWindow` /
+:class:`~repro.engine.fallback.CircuitBreaker`) trips only after warm starts
+are *already* failing — the fallback rate has to cross a threshold before
+anything happens.  This module supplies the predictive half of the closed
+loop: streaming change detectors over the per-request signals the engine
+already records (warm iteration counts, fallback usage, deadline timeouts,
+warm-solve seconds) that flag a *trend* towards degradation before the
+breaker has anything to trip on, giving the model lifecycle
+(:mod:`repro.engine.lifecycle`) time to retrain and hot-swap.
+
+Everything here is pure deterministic arithmetic on the observed values — no
+wall clock, no randomness — so a detector fed the same outcome stream reports
+the same thing on every machine, schedule and worker count (the engine feeds
+outcomes in scenario-id order for exactly this reason).
+
+Two detectors run per signal:
+
+* **Page–Hinkley** (CUSUM-style) change detection: the cumulative sum of
+  deviations above the running mean (minus a tolerated ``delta``) is compared
+  against its own running minimum; when the gap exceeds ``threshold`` the
+  signal's mean has shifted upward and the signal is **drifted** (latched).
+* **Rolling-mean trend**: a least-squares slope over the last ``window``
+  observations; a slope above ``slope_threshold`` marks the signal
+  **trending** — the early warning that precedes a Page–Hinkley alarm on a
+  gradual degradation ramp.
+
+Signals can be *advisory* (wall-clock-derived ones like warm-solve seconds):
+they are tracked and reported as evidence but never drive the overall status,
+which keeps the monitor's verdict reproducible across machines of different
+speeds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Mapping, Optional, Tuple
+
+#: Drift statuses, ordered from healthy to alarmed.
+DRIFT_STATUSES = ("stationary", "trending", "drifted")
+
+STATIONARY, TRENDING, DRIFTED = DRIFT_STATUSES
+
+#: Rank used to combine per-signal statuses into an overall verdict.
+_STATUS_RANK = {status: rank for rank, status in enumerate(DRIFT_STATUSES)}
+
+
+@dataclass(frozen=True)
+class SignalReport:
+    """Evidence snapshot of one monitored signal.
+
+    ``statistic`` is the current Page–Hinkley gap (cumulative deviation above
+    its running minimum); an alarm fired when it exceeded ``threshold`` at
+    observation ``onset_index`` (0-based, ``None`` while healthy).  ``slope``
+    is the least-squares trend over the last ``window`` observations and
+    ``mean`` the running mean of the whole stream.
+    """
+
+    name: str
+    status: str
+    n_observations: int
+    onset_index: Optional[int]
+    statistic: float
+    threshold: float
+    slope: float
+    slope_threshold: float
+    mean: float
+    advisory: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view (drift-telemetry artifact payload)."""
+        return {
+            "name": self.name,
+            "status": self.status,
+            "n_observations": self.n_observations,
+            "onset_index": self.onset_index,
+            "statistic": self.statistic,
+            "threshold": self.threshold,
+            "slope": self.slope,
+            "slope_threshold": self.slope_threshold,
+            "mean": self.mean,
+            "advisory": self.advisory,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Typed verdict of a :class:`DriftMonitor` over its observation stream.
+
+    ``status`` is the worst status among non-advisory signals; ``onset_index``
+    the earliest Page–Hinkley alarm index among drifted signals (``None``
+    until one fires).  Advisory signals appear in ``signals`` as evidence but
+    never decide ``status``.
+    """
+
+    status: str
+    onset_index: Optional[int]
+    n_observations: int
+    signals: Tuple[SignalReport, ...]
+
+    @property
+    def drifted(self) -> bool:
+        """True once any deciding signal's change detector has alarmed."""
+        return self.status == DRIFTED
+
+    def signal(self, name: str) -> SignalReport:
+        """The report of one signal by name (raises ``KeyError`` if absent)."""
+        for report in self.signals:
+            if report.name == name:
+                return report
+        raise KeyError(f"no monitored signal named {name!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view (drift-telemetry artifact payload)."""
+        return {
+            "status": self.status,
+            "onset_index": self.onset_index,
+            "n_observations": self.n_observations,
+            "signals": [report.to_dict() for report in self.signals],
+        }
+
+
+class PageHinkley:
+    """Streaming Page–Hinkley test for an upward shift of a signal's mean.
+
+    Maintains the cumulative sum ``m_t = Σ (x_i − x̄_i − delta)`` (``x̄_i``
+    the running mean after observation ``i``) and its running minimum; the
+    statistic ``m_t − min(m)`` exceeds ``threshold`` exactly when the recent
+    observations have run persistently above the historical mean by more than
+    ``delta`` per step.  Purely incremental, O(1) state, no wall clock.
+    """
+
+    def __init__(self, delta: float, threshold: float, min_observations: int = 1):
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_observations < 1:
+            raise ValueError("min_observations must be positive")
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.min_observations = min_observations
+        self.n = 0
+        self.mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+        #: 0-based index of the observation that first tripped the alarm.
+        self.onset_index: Optional[int] = None
+
+    @property
+    def statistic(self) -> float:
+        """Current gap between the cumulative sum and its running minimum."""
+        return self._cumulative - self._minimum
+
+    @property
+    def alarmed(self) -> bool:
+        """True once the statistic has crossed the threshold (latched)."""
+        return self.onset_index is not None
+
+    def update(self, x: float) -> bool:
+        """Consume one observation; returns :attr:`alarmed`."""
+        self.n += 1
+        self.mean += (float(x) - self.mean) / self.n
+        self._cumulative += float(x) - self.mean - self.delta
+        if self._cumulative < self._minimum:
+            self._minimum = self._cumulative
+        if (
+            self.onset_index is None
+            and self.n >= self.min_observations
+            and self.statistic > self.threshold
+        ):
+            self.onset_index = self.n - 1
+        return self.alarmed
+
+
+class RollingTrend:
+    """Least-squares slope over the last ``window`` observations.
+
+    The slope is computed against the observation index (units: signal change
+    per observation), so it is independent of wall clock and identical for
+    identical streams.  The window must be full before a trend is reported.
+    """
+
+    def __init__(self, window: int, slope_threshold: float):
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        if slope_threshold <= 0:
+            raise ValueError("slope_threshold must be positive")
+        self.window = window
+        self.slope_threshold = float(slope_threshold)
+        self._values: Deque[float] = deque(maxlen=window)
+
+    def update(self, x: float) -> None:
+        """Consume one observation."""
+        self._values.append(float(x))
+
+    @property
+    def slope(self) -> float:
+        """Least-squares slope over the window (0.0 until it is full)."""
+        n = len(self._values)
+        if n < self.window:
+            return 0.0
+        # Closed-form simple linear regression against t = 0..n-1:
+        # slope = Σ (t - t̄)(x - x̄) / Σ (t - t̄)² with Σ (t - t̄)² = n(n²−1)/12.
+        t_mean = (n - 1) / 2.0
+        x_mean = sum(self._values) / n
+        numerator = sum((t - t_mean) * (x - x_mean) for t, x in enumerate(self._values))
+        denominator = n * (n * n - 1) / 12.0
+        return numerator / denominator
+
+    @property
+    def trending(self) -> bool:
+        """True when the window is full and the slope exceeds the threshold."""
+        return self.slope > self.slope_threshold
+
+
+class DriftDetector:
+    """Per-signal composite detector: Page–Hinkley alarm + rolling trend.
+
+    Status is ``"drifted"`` once the Page–Hinkley test alarms (latched until
+    :meth:`reset`), ``"trending"`` while the rolling-window slope exceeds its
+    threshold, ``"stationary"`` otherwise.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        delta: float,
+        threshold: float,
+        window: int = 16,
+        slope_threshold: Optional[float] = None,
+        min_observations: int = 8,
+        advisory: bool = False,
+    ):
+        self.name = name
+        self.advisory = advisory
+        self._args = dict(
+            delta=delta,
+            threshold=threshold,
+            window=window,
+            # A degradation that would trip Page–Hinkley in ~2 windows has
+            # slope ≈ threshold / window²; half of that is the early warning.
+            slope_threshold=(
+                slope_threshold
+                if slope_threshold is not None
+                else 0.5 * threshold / (window * window)
+            ),
+            min_observations=min_observations,
+        )
+        self._ph = PageHinkley(delta, threshold, min_observations)
+        self._trend = RollingTrend(window, self._args["slope_threshold"])
+
+    def observe(self, x: float) -> None:
+        """Consume one observation of this signal."""
+        self._ph.update(x)
+        self._trend.update(x)
+
+    def reset(self) -> None:
+        """Forget the whole stream (called after a model promotion)."""
+        self._ph = PageHinkley(
+            self._args["delta"], self._args["threshold"], self._args["min_observations"]
+        )
+        self._trend = RollingTrend(self._args["window"], self._args["slope_threshold"])
+
+    @property
+    def n_observations(self) -> int:
+        return self._ph.n
+
+    @property
+    def status(self) -> str:
+        if self._ph.alarmed:
+            return DRIFTED
+        if self._trend.trending:
+            return TRENDING
+        return STATIONARY
+
+    def report(self) -> SignalReport:
+        """Current evidence snapshot of this signal."""
+        return SignalReport(
+            name=self.name,
+            status=self.status,
+            n_observations=self._ph.n,
+            onset_index=self._ph.onset_index,
+            statistic=self._ph.statistic,
+            threshold=self._ph.threshold,
+            slope=self._trend.slope,
+            slope_threshold=self._trend.slope_threshold,
+            mean=self._ph.mean,
+            advisory=self.advisory,
+        )
+
+
+def default_detectors() -> Tuple[DriftDetector, ...]:
+    """The engine's default signal set.
+
+    * ``iterations`` — warm-attempt iteration counts; the earliest degradation
+      signal (warm starts lose accuracy → the IPM needs more steps long before
+      it starts failing outright).  ``delta=0.25`` tolerates a quarter-
+      iteration of mean wander; the alarm needs ~10 cumulative excess
+      iterations.
+    * ``used_fallback`` — 0/1 per request; ``threshold=2.0`` alarms after
+      roughly three excess fallbacks over the historical rate.
+    * ``timed_out`` — 0/1 per request, same scale as ``used_fallback``.
+    * ``warm_solve_seconds`` — *advisory* (wall-clock-derived, so it never
+      decides the overall status; reported as corroborating evidence only).
+    """
+    return (
+        DriftDetector("iterations", delta=0.25, threshold=10.0, window=16),
+        DriftDetector("used_fallback", delta=0.05, threshold=2.0, window=16),
+        DriftDetector("timed_out", delta=0.05, threshold=2.0, window=16),
+        DriftDetector(
+            "warm_solve_seconds", delta=0.005, threshold=0.5, window=16, advisory=True
+        ),
+    )
+
+
+class DriftMonitor:
+    """Streaming drift monitor over the engine's per-request outcome signals.
+
+    The engine calls :meth:`observe_outcome` once per served scenario (in
+    scenario-id order, so the stream — and therefore the verdict — is
+    independent of worker scheduling) and surfaces :meth:`report` on its
+    telemetry.  The overall status is the worst status among non-advisory
+    signals; a promotion resets the monitor via :meth:`reset` so a fresh
+    model is not judged by its predecessor's stream.
+    """
+
+    def __init__(self, detectors: Optional[Iterable[DriftDetector]] = None):
+        self.detectors: Tuple[DriftDetector, ...] = (
+            tuple(detectors) if detectors is not None else default_detectors()
+        )
+        if not self.detectors:
+            raise ValueError("DriftMonitor needs at least one detector")
+        names = [d.name for d in self.detectors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate detector names: {names}")
+        self.n_observations = 0
+
+    def observe(self, values: Mapping[str, float]) -> None:
+        """Consume one request's signal values (missing signals are skipped)."""
+        for detector in self.detectors:
+            if detector.name in values:
+                detector.observe(float(values[detector.name]))
+        self.n_observations += 1
+
+    def observe_outcome(self, outcome) -> None:
+        """Consume one :class:`~repro.parallel.pool.ScenarioOutcome`."""
+        self.observe(
+            {
+                "iterations": float(outcome.iterations),
+                "used_fallback": 1.0 if outcome.used_fallback else 0.0,
+                "timed_out": 1.0 if outcome.timed_out else 0.0,
+                "warm_solve_seconds": float(outcome.solve_seconds),
+            }
+        )
+
+    def reset(self) -> None:
+        """Restart every detector (called on successful model promotion)."""
+        for detector in self.detectors:
+            detector.reset()
+        self.n_observations = 0
+
+    @property
+    def status(self) -> str:
+        """Worst status among the deciding (non-advisory) signals."""
+        deciding = [d.status for d in self.detectors if not d.advisory]
+        if not deciding:
+            return STATIONARY
+        return max(deciding, key=_STATUS_RANK.__getitem__)
+
+    def report(self) -> DriftReport:
+        """Typed verdict plus per-signal evidence."""
+        signals = tuple(detector.report() for detector in self.detectors)
+        onsets = [
+            s.onset_index
+            for s in signals
+            if not s.advisory and s.onset_index is not None
+        ]
+        return DriftReport(
+            status=self.status,
+            onset_index=min(onsets) if onsets else None,
+            n_observations=self.n_observations,
+            signals=signals,
+        )

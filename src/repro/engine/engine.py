@@ -22,14 +22,16 @@ orchestrator over this class.
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.data.dataset import OPFDataset
+from repro.engine.drift import DriftMonitor, DriftReport
 from repro.engine.fallback import CircuitBreaker, FallbackPolicy, get_fallback_policy
 from repro.engine.records import OnlineEvaluation, OnlineRecord
 from repro.grid.components import Case
@@ -53,6 +55,23 @@ LOGGER = get_logger("engine")
 PERSISTED_FALLBACK = object()
 
 
+@dataclass(frozen=True)
+class ServingModel:
+    """One immutable generation of the engine's learned state.
+
+    The engine publishes exactly one of these at a time; a hot-swap builds the
+    next generation completely and then replaces the published reference in a
+    single assignment.  Requests snapshot the reference once on entry, so a
+    request in flight during a swap finishes on the generation it started
+    with — every request is served by a *pure* generation, never a hybrid.
+    """
+
+    network: Module
+    normalizer: DatasetNormalizer
+    config: MTLConfig
+    generation: int = 0
+
+
 class WarmStartEngine:
     """Serves batches of load scenarios with MTL warm starts and a solver fleet."""
 
@@ -73,11 +92,19 @@ class WarmStartEngine:
         breaker: Optional[CircuitBreaker] = None,
         faults: Optional[FaultPlan] = None,
         crash_retries: int = 1,
+        drift_monitor: Optional[DriftMonitor] = None,
     ):
         self.case = case
-        self.network = network
-        self.normalizer = normalizer
-        self.config = config or getattr(network, "config", MTLConfig())
+        #: The published model generation.  Swapped atomically by
+        #: :meth:`hot_swap`; read it through the ``network`` / ``normalizer``
+        #: / ``config`` / ``generation`` properties, or snapshot the whole
+        #: :class:`ServingModel` for request-pure serving.
+        self._serving = ServingModel(
+            network=network,
+            normalizer=normalizer,
+            config=config or getattr(network, "config", MTLConfig()),
+        )
+        self._swap_lock = threading.Lock()
         self.opf_options = opf_options or OPFOptions()
         if kkt_solver is not None or kkt_factor_threads is not None:
             # Convenience overrides so deployments can pick the KKT backend
@@ -115,12 +142,102 @@ class WarmStartEngine:
         #: While open, new requests skip inference and go straight to the
         #: relaxed/cold path; per-request outcomes feed its health window.
         self.breaker = breaker
+        #: Optional predictive drift monitor fed one outcome per served
+        #: scenario (in scenario-id order); surfaces trends on
+        #: :meth:`drift_report` *before* the breaker has anything to trip on.
+        self.drift_monitor = drift_monitor
         #: Optional deterministic fault plan injected into fleet workers
         #: (testing only) and the crash-retry budget handed to fleets.
         self.faults = faults
         self.crash_retries = crash_retries
         #: Live fleets keyed by worker count; created lazily, kept across calls.
         self._fleets: Dict[int, SolverFleet] = {}
+
+    # ------------------------------------------------------------ serving state
+    @property
+    def network(self) -> Module:
+        """The live generation's prediction network."""
+        return self._serving.network
+
+    @property
+    def normalizer(self) -> DatasetNormalizer:
+        """The live generation's normalizer statistics."""
+        return self._serving.normalizer
+
+    @property
+    def config(self) -> MTLConfig:
+        """The live generation's MTL configuration."""
+        return self._serving.config
+
+    @property
+    def generation(self) -> int:
+        """Monotonic model-generation counter (0 at construction)."""
+        return self._serving.generation
+
+    @property
+    def serving_model(self) -> ServingModel:
+        """Snapshot of the published generation (immutable)."""
+        return self._serving
+
+    def hot_swap(
+        self,
+        network: Module,
+        normalizer: DatasetNormalizer,
+        config: Optional[MTLConfig] = None,
+    ) -> int:
+        """Atomically publish a new model generation; returns its number.
+
+        The next :class:`ServingModel` is built completely before being
+        published in one reference assignment, so there is no instant at which
+        a request can observe a half-swapped engine: requests already past
+        their snapshot finish on the old generation, requests entering after
+        the assignment serve the new one, and nothing is dropped.  On success
+        the health machinery is reset — a freshly promoted model must not
+        inherit the previous model's open breaker or drift stream (trip
+        counts are cumulative telemetry and survive the reset).
+        """
+        with self._swap_lock:
+            incumbent = self._serving
+            self._serving = ServingModel(
+                network=network,
+                normalizer=normalizer,
+                config=config or getattr(network, "config", incumbent.config),
+                generation=incumbent.generation + 1,
+            )
+            published = self._serving
+        if self.breaker is not None:
+            self.breaker.reset()
+        if self.drift_monitor is not None:
+            self.drift_monitor.reset()
+        LOGGER.info(
+            "%s: hot-swapped serving model to generation %d",
+            self.case.name,
+            published.generation,
+        )
+        return published.generation
+
+    def adopt_artifact(self, path: Union[str, Path]) -> int:
+        """Hot-swap to the model persisted in an artifact file.
+
+        The artifact's case fingerprint and content checksum are verified
+        *before* anything is published — a mismatched or corrupt artifact
+        raises (:class:`~repro.engine.artifact.ArtifactMismatchError` /
+        :class:`~repro.engine.artifact.ArtifactCorruptError`) with the
+        incumbent generation untouched.  Returns the new generation.
+        """
+        from repro.engine.artifact import load_artifact
+
+        candidate = load_artifact(
+            path,
+            self.case,
+            opf_options=self.opf_options,
+            opf_model=self.opf_model,
+        )
+        return self.hot_swap(candidate.network, candidate.normalizer, candidate.config)
+
+    def drift_report(self) -> Optional[DriftReport]:
+        """The drift monitor's current verdict (``None`` without a monitor)."""
+        return None if self.drift_monitor is None else self.drift_monitor.report()
 
     # -------------------------------------------------------------- constructors
     @classmethod
@@ -134,6 +251,8 @@ class WarmStartEngine:
         kkt_factor_threads: Optional[int] = None,
         schedule: str = "static",
         microbatch: Optional[int] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        drift_monitor: Optional[DriftMonitor] = None,
     ) -> "WarmStartEngine":
         """Build an engine that shares a trained :class:`MTLTrainer`'s state."""
         return cls(
@@ -149,6 +268,8 @@ class WarmStartEngine:
             kkt_factor_threads=kkt_factor_threads,
             schedule=schedule,
             microbatch=microbatch,
+            breaker=breaker,
+            drift_monitor=drift_monitor,
         )
 
     # ---------------------------------------------------------------- inference
@@ -204,7 +325,13 @@ class WarmStartEngine:
         (cold-start + fallback) path.  Faults injected via the engine's
         :class:`~repro.testing.faults.FaultPlan` never escape this method —
         they surface as structured failed outcomes in the sweep.
+
+        The published :class:`ServingModel` is snapshotted once on entry, so
+        a hot-swap concurrent with this request cannot produce a hybrid: the
+        whole request is served by the generation recorded on the returned
+        sweep's ``model_generation``.
         """
+        serving = self._serving
         degraded = self.breaker is not None and not self.breaker.allow_warm()
         if degraded:
             warm_starts = None
@@ -214,14 +341,29 @@ class WarmStartEngine:
                 len(scenarios),
             )
         else:
-            warm_starts = self.warm_starts_for(scenarios.feature_matrix(self.case.base_mva))
+            warm_starts = warm_starts_from_predictions(
+                predict_physical(
+                    serving.network,
+                    serving.normalizer,
+                    np.atleast_2d(scenarios.feature_matrix(self.case.base_mva)),
+                ),
+                self.opf_model,
+            )
         sweep = self.fleet(n_workers).solve(
             scenarios, warm_starts, deadline_seconds=deadline_seconds
         )
+        sweep.model_generation = serving.generation
+        # Feed health machinery in scenario order so both count-based state
+        # machines are deterministic regardless of worker scheduling.  The
+        # drift monitor sees every outcome first: trends surface on
+        # ``drift_report()`` before the breaker has accumulated enough
+        # realized fallbacks to trip.
+        ordered = sorted(sweep.outcomes, key=lambda o: o.scenario_id)
+        if self.drift_monitor is not None:
+            for outcome in ordered:
+                self.drift_monitor.observe_outcome(outcome)
         if self.breaker is not None:
-            # Feed outcomes in scenario order so the breaker's count-based
-            # state machine is deterministic regardless of worker scheduling.
-            for outcome in sorted(sweep.outcomes, key=lambda o: o.scenario_id):
+            for outcome in ordered:
                 self.breaker.record(outcome.used_fallback)
         return sweep
 
@@ -266,8 +408,14 @@ class WarmStartEngine:
         if n < 1:
             raise ValueError("dataset has no problems to evaluate")
 
+        serving = self._serving
         t0 = time.perf_counter()
-        warm_starts = self.warm_starts_for(dataset.inputs[:n])
+        warm_starts = warm_starts_from_predictions(
+            predict_physical(
+                serving.network, serving.normalizer, np.atleast_2d(dataset.inputs[:n])
+            ),
+            self.opf_model,
+        )
         inference_seconds = (time.perf_counter() - t0) / n
 
         scenarios = ScenarioSet(
@@ -277,11 +425,19 @@ class WarmStartEngine:
         sweep = self.fleet(n_workers).solve(
             scenarios, warm_starts, deadline_seconds=deadline_seconds
         )
+        sweep.model_generation = serving.generation
 
         trips = 0 if self.breaker is None else self.breaker.trips
         evaluation = OnlineEvaluation(case_name=self.case.name)
         for outcome in sweep.outcomes:
             i = outcome.scenario_id
+            # Outcomes arrive sorted by scenario id (the sweep sorts), so the
+            # drift stream — and the per-record status snapshot — is
+            # deterministic whatever the worker scheduling did.
+            drift_status = "stationary"
+            if self.drift_monitor is not None:
+                self.drift_monitor.observe_outcome(outcome)
+                drift_status = self.drift_monitor.status
             evaluation.records.append(
                 OnlineRecord(
                     scenario_id=i,
@@ -302,6 +458,8 @@ class WarmStartEngine:
                     retries=outcome.retries,
                     timed_out=outcome.timed_out,
                     fallback_trips=trips,
+                    drift_status=drift_status,
+                    model_generation=serving.generation,
                 )
             )
         return evaluation

@@ -254,6 +254,19 @@ class CircuitBreaker:
         self._cooldown_left = self.cooldown
         self.health.reset()
 
+    def reset(self) -> None:
+        """Return to *closed* with a fresh health window.
+
+        Called on a successful model promotion: the health the breaker
+        accumulated belongs to the retired model, and a freshly promoted one
+        must not inherit an open breaker (or a half-open probe) it did
+        nothing to earn.  ``trips`` is cumulative telemetry across
+        generations and deliberately survives the reset.
+        """
+        self.state = self.CLOSED
+        self._cooldown_left = 0
+        self.health.reset()
+
 
 def get_fallback_policy(spec: Union[str, FallbackPolicy, None]) -> FallbackPolicy:
     """Resolve a policy instance from a name, an instance or ``None``.

@@ -59,6 +59,12 @@ class OnlineRecord:
     retries: int = 0
     timed_out: bool = False
     fallback_trips: int = 0
+    #: Drift-monitor verdict (``stationary`` / ``trending`` / ``drifted``)
+    #: after this record's outcome was observed — the predictive health
+    #: signal, surfaced per record *before* the breaker trips.
+    drift_status: str = "stationary"
+    #: Model generation that served this record (see ``ServingModel``).
+    model_generation: int = 0
 
     # ----------------------------------------------------------- derived views
     @property

@@ -14,8 +14,9 @@ described in Section VI-B.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -26,12 +27,17 @@ from repro.mtl.physics import PhysicsContext, physics_losses
 from repro.nn.losses import charbonnier
 from repro.nn.modules import Module
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.schedulers import Scheduler
+from repro.nn.serialization import load_bundle, save_bundle
 from repro.nn.tensor import Tensor
 from repro.opf.model import OPFModel
 from repro.opf.warmstart import WarmStart
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("mtl")
+
+#: Format version of trainer checkpoints (bump on incompatible layout change).
+CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,11 @@ class MTLTrainer:
             lr=self.config.learning_rate,
             weight_decay=self.config.weight_decay,
         )
+        #: Optional learning-rate scheduler, stepped once per epoch.  Attach
+        #: after construction (it needs ``self.optimizer``)::
+        #:
+        #:     trainer.scheduler = StepLR(trainer.optimizer, step_size=10)
+        self.scheduler: Optional[Scheduler] = None
         self._norm_inputs = np.asarray(self.normalizer.normalize_inputs(dataset.inputs), dtype=float)
         self._norm_targets = {
             task: np.asarray(values, dtype=float)
@@ -136,13 +147,36 @@ class MTLTrainer:
             exp_clip=self.config.ieq_exp_clip,
         )
 
-    def train(self, validation: Optional[OPFDataset] = None) -> TrainingHistory:
-        """Run the configured number of epochs; returns the loss history."""
-        history = TrainingHistory()
-        start = time.perf_counter()
-        rng = np.random.default_rng(self.config.seed)
+    def train(
+        self,
+        validation: Optional[OPFDataset] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 0,
+        resume_from: Optional[Union[str, Path]] = None,
+        until_epoch: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Run the configured number of epochs; returns the loss history.
 
-        for epoch in range(1, self.config.epochs + 1):
+        ``checkpoint_path`` + ``checkpoint_every`` save a resumable checkpoint
+        after every ``checkpoint_every``-th epoch (crash-safe: the write is an
+        atomic replace).  ``resume_from`` restores such a checkpoint — network
+        weights, Adam moments and step counter, scheduler position and the
+        batch-shuffling RNG state — so a killed run, resumed, replays the
+        remaining epochs *bitwise identically* to an uninterrupted run (loss
+        fields; wall-clock ``seconds`` naturally differ).  ``until_epoch``
+        stops early after that epoch (inclusive), which is how tests simulate
+        a kill at a deterministic point.
+        """
+        start = time.perf_counter()
+        if resume_from is not None:
+            start_epoch, rng, history = self._restore_checkpoint(resume_from)
+        else:
+            start_epoch = 0
+            rng = np.random.default_rng(self.config.seed)
+            history = TrainingHistory()
+        end_epoch = self.config.epochs if until_epoch is None else min(until_epoch, self.config.epochs)
+
+        for epoch in range(start_epoch + 1, end_epoch + 1):
             epoch_start = time.perf_counter()
             detached = self.config.detach_period > 0 and epoch % self.config.detach_period == 0
             totals = {"total": 0.0, "supervised": 0.0, "physics": 0.0}
@@ -184,6 +218,10 @@ class MTLTrainer:
             history.epochs.append(stats)
             if validation is not None:
                 history.validation_errors.append(self.evaluate(validation))
+            if self.scheduler is not None:
+                self.scheduler.step()
+            if checkpoint_path is not None and checkpoint_every > 0 and epoch % checkpoint_every == 0:
+                self.save_checkpoint(checkpoint_path, epoch, rng, history)
             LOGGER.debug(
                 "epoch %d: total=%.4e supervised=%.4e physics=%.4e",
                 epoch,
@@ -194,6 +232,81 @@ class MTLTrainer:
 
         history.train_seconds = time.perf_counter() - start
         return history
+
+    # -------------------------------------------------------------- checkpoints
+    def save_checkpoint(
+        self,
+        path: Union[str, Path],
+        epoch: int,
+        rng: np.random.Generator,
+        history: TrainingHistory,
+    ) -> Path:
+        """Persist everything needed to resume training after ``epoch``.
+
+        The checkpoint is a checksummed bundle (see
+        :func:`repro.nn.serialization.save_bundle`) holding the network
+        parameters, the Adam moment estimates and step counter, the scheduler
+        position, the batch-shuffling RNG state *as of the end of the epoch*
+        and the loss history so far.  Because each epoch draws exactly one
+        batch seed from ``rng``, restoring this state replays the remaining
+        epochs bitwise identically.
+        """
+        opt_state = self.optimizer.state_dict()
+        arrays: Dict[str, np.ndarray] = {
+            f"param/{name}": value for name, value in self.network.state_dict().items()
+        }
+        for i, m in enumerate(opt_state["m"]):
+            arrays[f"opt/m/{i}"] = m
+        for i, v in enumerate(opt_state["v"]):
+            arrays[f"opt/v/{i}"] = v
+        meta = {
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "epoch": int(epoch),
+            "optimizer": {"t": int(opt_state["t"]), "lr": float(opt_state["lr"])},
+            "scheduler": None if self.scheduler is None else self.scheduler.state_dict(),
+            # PCG64 state is a dict of (big) ints — JSON round-trips it exactly.
+            "rng_state": rng.bit_generator.state,
+            "history": {
+                "epochs": [asdict(e) for e in history.epochs],
+                "validation_errors": history.validation_errors,
+                "train_seconds": history.train_seconds,
+            },
+        }
+        return save_bundle(path, arrays, meta)
+
+    def _restore_checkpoint(
+        self, path: Union[str, Path]
+    ) -> tuple[int, np.random.Generator, TrainingHistory]:
+        """Load a checkpoint into this trainer; returns ``(epoch, rng, history)``."""
+        arrays, meta = load_bundle(path)
+        version = meta.get("checkpoint_version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {path} has version {version!r}; expected {CHECKPOINT_VERSION}"
+            )
+        prefix = "param/"
+        self.network.load_state_dict(
+            {key[len(prefix):]: value for key, value in arrays.items() if key.startswith(prefix)}
+        )
+        n_params = len(self.optimizer.params)
+        self.optimizer.load_state_dict(
+            {
+                "lr": meta["optimizer"]["lr"],
+                "t": meta["optimizer"]["t"],
+                "m": [arrays[f"opt/m/{i}"] for i in range(n_params)],
+                "v": [arrays[f"opt/v/{i}"] for i in range(n_params)],
+            }
+        )
+        if self.scheduler is not None and meta.get("scheduler") is not None:
+            self.scheduler.load_state_dict(meta["scheduler"])
+        rng = np.random.default_rng(self.config.seed)
+        rng.bit_generator.state = meta["rng_state"]
+        history = TrainingHistory(
+            epochs=[EpochStats(**stats) for stats in meta["history"]["epochs"]],
+            validation_errors=list(meta["history"]["validation_errors"]),
+            train_seconds=float(meta["history"]["train_seconds"]),
+        )
+        return int(meta["epoch"]), rng, history
 
     # ----------------------------------------------------------------- inference
     def predict_physical(self, inputs_pu: np.ndarray) -> Dict[str, np.ndarray]:

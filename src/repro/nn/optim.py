@@ -1,12 +1,38 @@
-"""Optimisers and gradient utilities."""
+"""Optimisers and gradient utilities.
+
+Optimisers expose ``state_dict()`` / ``load_state_dict()`` so a training run
+can be checkpointed and resumed *bitwise*: the moment estimates (Adam) or
+velocities (SGD) and the step counter are exactly what make a resumed update
+sequence identical to an uninterrupted one.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
 from repro.nn.modules import Parameter
+
+
+def _load_slot_arrays(
+    name: str, values: List[np.ndarray], params: List[Parameter]
+) -> List[np.ndarray]:
+    """Validate and copy per-parameter state arrays from a state dict."""
+    if len(values) != len(params):
+        raise ValueError(
+            f"{name} has {len(values)} entries for {len(params)} parameters"
+        )
+    out = []
+    for i, (value, param) in enumerate(zip(values, params)):
+        arr = np.asarray(value, dtype=float)
+        if arr.shape != param.data.shape:
+            raise ValueError(
+                f"{name}[{i}] shape {arr.shape} does not match parameter "
+                f"shape {param.data.shape}"
+            )
+        out.append(arr.copy())
+    return out
 
 
 class Optimizer:
@@ -28,6 +54,14 @@ class Optimizer:
     def step(self) -> None:
         """Apply one update (must be overridden)."""
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialisable optimiser state (parameter values are *not* included)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_dict` (shapes must match)."""
+        self.lr = float(state["lr"])
 
 
 class SGD(Optimizer):
@@ -52,6 +86,15 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data = p.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._velocity = _load_slot_arrays("velocity", list(state["velocity"]), self.params)
 
 
 class Adam(Optimizer):
@@ -92,6 +135,19 @@ class Adam(Optimizer):
             m_hat = m / (1 - b1 ** self._t)
             v_hat = v / (1 - b2 ** self._t)
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["t"] = self._t
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._t = int(state["t"])
+        self._m = _load_slot_arrays("m", list(state["m"]), self.params)
+        self._v = _load_slot_arrays("v", list(state["v"]), self.params)
 
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from typing import Dict
 
 from repro.nn.optim import Optimizer
 
@@ -25,6 +26,20 @@ class Scheduler:
     def compute_lr(self, epoch: int) -> float:
         """Learning rate at ``epoch`` (must be overridden)."""
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialisable scheduler position (the schedule itself is config)."""
+        return {"epoch": self.epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a position saved by :meth:`state_dict`.
+
+        Only the position is restored — the optimiser's current ``lr`` is
+        part of the *optimiser* state dict, so a full checkpoint round-trip
+        reproduces both.
+        """
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
 
 
 class StepLR(Scheduler):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import zipfile
 import zlib
 from pathlib import Path
@@ -50,13 +51,40 @@ def _bundle_digest(arrays: Dict[str, np.ndarray], meta_json: str) -> str:
     return digest.hexdigest()
 
 
+def _atomic_savez(path: Path, payload: Dict[str, np.ndarray]) -> Path:
+    """Crash-safe ``np.savez``: write a temp file, then ``os.replace`` it.
+
+    The archive is written to a temporary sibling *in the destination
+    directory* (so the final rename never crosses a filesystem) and renamed
+    into place only once it is complete.  A process killed mid-save can leave
+    a stale ``*.tmp.<pid>`` sibling behind, but never a truncated bundle at
+    the published path — the previous file there stays intact, or the path
+    simply does not exist yet.
+    """
+    final = path if path.suffix == ".npz" else Path(str(path) + ".npz")
+    final.parent.mkdir(parents=True, exist_ok=True)
+    tmp = final.parent / f"{final.name}.tmp.{os.getpid()}"
+    try:
+        # Hand np.savez an open file object: given a bare path it would
+        # append its own .npz suffix and publish the temp name we chose.
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return final
+
+
 def save_state_dict(state: Dict[str, np.ndarray], path: Union[str, Path]) -> Path:
-    """Write a state dict to ``path`` (``.npz``).  Returns the resolved path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Write a state dict to ``path`` (``.npz``).  Returns the resolved path.
+
+    The write is crash-safe: see :func:`_atomic_savez`.
+    """
     # Dotted parameter names are legal npz keys as-is.
-    np.savez(path, **state)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return _atomic_savez(Path(path), dict(state))
 
 
 def load_state_dict(path: Union[str, Path]) -> Dict[str, np.ndarray]:
@@ -85,18 +113,21 @@ def save_bundle(
     and a SHA-256 content checksum is stored under :data:`CHECKSUM_KEY`.
     Returns the path NumPy actually wrote (an ``.npz`` suffix is appended when
     missing).
+
+    The write is crash-safe (:func:`_atomic_savez`): the bundle lands at the
+    published path only as one complete ``os.replace``, so a process killed
+    mid-save leaves any previous artifact at that path intact — it can never
+    publish a truncated archive that would later raise
+    :class:`BundleIntegrityError`.
     """
     for reserved in (META_KEY, CHECKSUM_KEY):
         if reserved in arrays:
             raise ValueError(f"array key {reserved!r} is reserved")
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     meta_json = json.dumps(meta)
     payload = dict(arrays)
     payload[META_KEY] = np.array(meta_json)
     payload[CHECKSUM_KEY] = np.array(_bundle_digest(arrays, meta_json))
-    np.savez(path, **payload)
-    return path if path.suffix == ".npz" else Path(str(path) + ".npz")
+    return _atomic_savez(Path(path), payload)
 
 
 def load_bundle(path: Union[str, Path]) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:

@@ -194,6 +194,10 @@ class SweepResult:
     #: ``ScenarioOutcome.quarantined``).  For :meth:`SolverFleet.solve_many`
     #: the three counters record the *joint* dispatch, repeated on each sweep.
     quarantined: int = 0
+    #: Model generation that served this sweep (stamped by the engine; 0 for
+    #: bare-fleet sweeps).  A request in flight across a hot-swap keeps the
+    #: generation it snapshotted on entry — never a hybrid.
+    model_generation: int = 0
 
     @property
     def n_scenarios(self) -> int:

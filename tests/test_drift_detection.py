@@ -1,0 +1,263 @@
+"""Deterministic drift-detection corpus tests.
+
+Two canonical streams drive the acceptance criteria: a *stationary* corpus
+must never alarm, and a *degradation ramp* must alarm within a bounded number
+of observations — on every machine, because the detectors are pure arithmetic
+over the observed values.  The suite also writes the drift-telemetry JSON the
+CI job uploads as an artifact (``DRIFT_TELEMETRY_PATH``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engine import WarmStartEngine
+from repro.engine.drift import (
+    DRIFT_STATUSES,
+    DriftDetector,
+    DriftMonitor,
+    PageHinkley,
+    RollingTrend,
+    default_detectors,
+)
+
+
+# ------------------------------------------------------------- corpus builders
+def stationary_corpus(n: int = 200):
+    """Healthy serving traffic: flat iteration counts, no fallbacks."""
+    iterations = [8.0 + (i % 3 == 0) for i in range(n)]  # 8,8,9,8,8,9,…
+    return [
+        {
+            "iterations": iterations[i],
+            "used_fallback": 0.0,
+            "timed_out": 0.0,
+            "warm_solve_seconds": 0.01,
+        }
+        for i in range(n)
+    ]
+
+
+def degradation_ramp(n_healthy: int = 60, n_ramp: int = 80):
+    """Healthy prefix, then warm starts degrade: iterations climb, fallbacks appear."""
+    values = stationary_corpus(n_healthy)
+    for i in range(n_ramp):
+        values.append(
+            {
+                "iterations": 8.0 + 0.5 * i,
+                "used_fallback": 1.0 if i % 3 == 0 else 0.0,
+                "timed_out": 0.0,
+                "warm_solve_seconds": 0.01 + 0.002 * i,
+            }
+        )
+    return values
+
+
+# ---------------------------------------------------------------- page-hinkley
+def test_page_hinkley_stationary_never_alarms():
+    ph = PageHinkley(delta=0.25, threshold=10.0)
+    for x in [8.0, 9.0] * 200:
+        ph.update(x)
+    assert not ph.alarmed
+    assert ph.onset_index is None
+    assert ph.statistic <= ph.threshold
+
+
+def test_page_hinkley_detects_mean_shift_with_bounded_latency():
+    ph = PageHinkley(delta=0.25, threshold=10.0)
+    for _ in range(100):
+        ph.update(8.0)
+    assert not ph.alarmed
+    shift_at = ph.n
+    for _ in range(50):
+        ph.update(12.0)  # +4 per step over the mean, minus delta → ~3.75/step
+    assert ph.alarmed
+    # Latency bound: the cumulative excess reaches the threshold within
+    # ceil(threshold / (shift - delta)) observations, plus slack for the
+    # running mean catching up.
+    assert ph.onset_index is not None
+    assert ph.onset_index - shift_at < 10
+
+
+def test_page_hinkley_alarm_is_latched():
+    ph = PageHinkley(delta=0.0, threshold=1.0, min_observations=1)
+    ph.update(0.0)
+    for _ in range(10):
+        ph.update(5.0)
+    assert ph.alarmed
+    onset = ph.onset_index
+    for _ in range(100):
+        ph.update(0.0)  # recovery does not un-latch the alarm
+    assert ph.alarmed and ph.onset_index == onset
+
+
+def test_page_hinkley_validation():
+    with pytest.raises(ValueError):
+        PageHinkley(delta=-0.1, threshold=1.0)
+    with pytest.raises(ValueError):
+        PageHinkley(delta=0.1, threshold=0.0)
+    with pytest.raises(ValueError):
+        PageHinkley(delta=0.1, threshold=1.0, min_observations=0)
+
+
+# -------------------------------------------------------------- rolling trend
+def test_rolling_trend_recovers_linear_slope():
+    trend = RollingTrend(window=16, slope_threshold=0.1)
+    for i in range(40):
+        trend.update(2.0 + 0.5 * i)
+    assert trend.slope == pytest.approx(0.5, abs=1e-12)
+    assert trend.trending
+
+
+def test_rolling_trend_requires_full_window():
+    trend = RollingTrend(window=8, slope_threshold=0.01)
+    for i in range(7):
+        trend.update(float(i))
+    assert trend.slope == 0.0 and not trend.trending
+    trend.update(7.0)
+    assert trend.trending
+
+
+def test_rolling_trend_flat_stream_is_not_trending():
+    trend = RollingTrend(window=8, slope_threshold=0.01)
+    for _ in range(50):
+        trend.update(3.0)
+    assert trend.slope == pytest.approx(0.0, abs=1e-15)
+    assert not trend.trending
+
+
+# ----------------------------------------------------------- composite detector
+def test_detector_trending_precedes_drifted_on_ramp():
+    """On a gradual ramp the early warning fires before the CUSUM alarm."""
+    detector = DriftDetector("iterations", delta=0.25, threshold=10.0, window=16)
+    statuses = []
+    for i in range(120):
+        x = 8.0 if i < 60 else 8.0 + 0.25 * (i - 60)
+        detector.observe(x)
+        statuses.append(detector.status)
+    assert statuses[59] == "stationary"
+    assert "trending" in statuses
+    assert statuses[-1] == "drifted"
+    assert statuses.index("trending") < statuses.index("drifted")
+
+
+def test_detector_reset_clears_latched_alarm():
+    detector = DriftDetector("iterations", delta=0.0, threshold=1.0, min_observations=1)
+    for _ in range(20):
+        detector.observe(10.0 if detector.n_observations else 0.0)
+    assert detector.status == "drifted"
+    detector.reset()
+    assert detector.status == "stationary"
+    assert detector.n_observations == 0
+
+
+# ---------------------------------------------------------------- drift monitor
+def test_monitor_stationary_corpus_never_alarms():
+    monitor = DriftMonitor()
+    for values in stationary_corpus():
+        monitor.observe(values)
+        assert monitor.status == "stationary"
+    report = monitor.report()
+    assert report.status == "stationary"
+    assert report.onset_index is None
+    assert not report.drifted
+
+
+def test_monitor_degradation_ramp_alarms_within_bound():
+    monitor = DriftMonitor()
+    corpus = degradation_ramp(n_healthy=60, n_ramp=80)
+    alarmed_at = None
+    for i, values in enumerate(corpus):
+        monitor.observe(values)
+        if alarmed_at is None and monitor.status == "drifted":
+            alarmed_at = i
+    assert alarmed_at is not None, "ramp corpus must trip the drift alarm"
+    # Bounded detection latency: well inside the ramp, not at its very end.
+    assert alarmed_at < 60 + 40
+    report = monitor.report()
+    assert report.drifted and report.onset_index is not None
+    assert report.onset_index >= 60 - 1
+
+
+def test_monitor_is_deterministic_across_instances():
+    corpus = degradation_ramp()
+    a, b = DriftMonitor(), DriftMonitor()
+    for values in corpus:
+        a.observe(values)
+        b.observe(values)
+    assert a.report() == b.report()
+
+
+def test_advisory_signal_never_decides_status():
+    """A wall-clock signal exploding on its own leaves the verdict stationary."""
+    monitor = DriftMonitor()
+    for i in range(100):
+        monitor.observe(
+            {
+                "iterations": 8.0,
+                "used_fallback": 0.0,
+                "timed_out": 0.0,
+                "warm_solve_seconds": float(i),  # machine got slow, model fine
+            }
+        )
+    report = monitor.report()
+    assert report.signal("warm_solve_seconds").status == "drifted"
+    assert report.signal("warm_solve_seconds").advisory
+    assert report.status == "stationary"
+    assert report.onset_index is None
+
+
+def test_monitor_reset_and_validation():
+    monitor = DriftMonitor()
+    for values in degradation_ramp():
+        monitor.observe(values)
+    assert monitor.status == "drifted"
+    monitor.reset()
+    assert monitor.status == "stationary" and monitor.n_observations == 0
+    with pytest.raises(ValueError):
+        DriftMonitor(detectors=())
+    dup = default_detectors()[0]
+    with pytest.raises(ValueError):
+        DriftMonitor(detectors=[dup, dup])
+
+
+def test_report_round_trips_to_json(tmp_path):
+    """The telemetry payload is plain JSON (the CI artifact format)."""
+    monitor = DriftMonitor()
+    for values in degradation_ramp():
+        monitor.observe(values)
+    payload = monitor.report().to_dict()
+    text = json.dumps(payload, indent=2)
+    assert json.loads(text) == payload
+    assert payload["status"] in DRIFT_STATUSES
+    target = Path(os.environ.get("DRIFT_TELEMETRY_PATH", tmp_path / "DRIFT_telemetry.json"))
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
+    assert json.loads(target.read_text())["status"] == "drifted"
+
+
+# ------------------------------------------------------------ engine integration
+def test_engine_surfaces_drift_telemetry(trained_trainer9, dataset9):
+    engine = WarmStartEngine.from_trainer(trained_trainer9, drift_monitor=DriftMonitor())
+    try:
+        assert engine.drift_report().n_observations == 0
+        evaluation = engine.evaluate(dataset9, max_problems=6)
+        report = engine.drift_report()
+        assert report.n_observations == 6
+        assert report.status in DRIFT_STATUSES
+        for record in evaluation.records:
+            assert record.drift_status in DRIFT_STATUSES
+            assert record.model_generation == 0
+    finally:
+        engine.close()
+
+
+def test_engine_without_monitor_reports_none(trained_trainer9):
+    engine = WarmStartEngine.from_trainer(trained_trainer9)
+    try:
+        assert engine.drift_report() is None
+    finally:
+        engine.close()

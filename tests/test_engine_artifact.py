@@ -199,3 +199,49 @@ def test_artifact_roundtrip_separate_networks(case9_fixture, dataset9, opf_model
     restored = reloaded.predict_physical(dataset9.inputs[:3])
     for task in original:
         np.testing.assert_array_equal(restored[task], original[task])
+
+
+# ---------------------------------------------------------- crash-safe writes
+def _aborting_savez(fh, **payload):
+    """Stand-in for a process killed mid-write: partial bytes, then death."""
+    fh.write(b"PK\x03\x04 partial archive torn off mid-write")
+    raise KeyboardInterrupt("simulated kill during artifact save")
+
+
+def test_aborted_save_never_corrupts_published_artifact(
+    engine9, case9_fixture, tmp_path, monkeypatch
+):
+    """A write killed mid-save leaves the previously published artifact intact."""
+    path = tmp_path / "live.npz"
+    save_artifact(engine9, path)
+    healthy = load_artifact(path, case9_fixture)
+    expected = healthy.predict_physical(np.zeros((1, 2 * case9_fixture.n_bus)))
+
+    import repro.nn.serialization as serialization
+
+    monkeypatch.setattr(serialization.np, "savez", _aborting_savez)
+    with pytest.raises(KeyboardInterrupt):
+        save_artifact(engine9, path)
+    monkeypatch.undo()
+
+    # The published path still holds the old, fully intact artifact …
+    reloaded = load_artifact(path, case9_fixture)
+    served = reloaded.predict_physical(np.zeros((1, 2 * case9_fixture.n_bus)))
+    for task in expected:
+        np.testing.assert_array_equal(served[task], expected[task])
+    # … and no temp debris was left next to it.
+    assert [p.name for p in tmp_path.iterdir()] == ["live.npz"]
+
+
+def test_aborted_save_of_new_artifact_leaves_no_file(
+    engine9, tmp_path, monkeypatch
+):
+    """A first-time save killed mid-write publishes nothing at all."""
+    import repro.nn.serialization as serialization
+
+    path = tmp_path / "fresh.npz"
+    monkeypatch.setattr(serialization.np, "savez", _aborting_savez)
+    with pytest.raises(KeyboardInterrupt):
+        save_artifact(engine9, path)
+    assert not path.exists()
+    assert list(tmp_path.iterdir()) == []
