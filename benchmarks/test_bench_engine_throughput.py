@@ -242,7 +242,7 @@ def test_bench_blockdiag_kkt_backend(benchmark, framework118, perf_recorder):
     ``REPRO_BENCH_STRICT=1``.  The measured throughputs and the per-backend
     KKT telemetry counters (symbolic reuses / numeric refactorisations /
     block factorisations — the Fig. 5 factorisation-attribution inputs) are
-    always recorded into ``BENCH_pr7.json`` so the trajectory is tracked
+    always recorded into ``BENCH_pr9.json`` so the trajectory is tracked
     either way.  The workload is the exact one the PR 3/PR 5 sessions
     measured (16 scenarios, ±5 %, seed 21) so ratios are apples-to-apples.
     """

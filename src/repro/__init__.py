@@ -17,7 +17,20 @@ Typical usage::
     print(evaluation.speedup, evaluation.success_rate)
 """
 
-from repro import core, data, engine, grid, mips, mtl, nn, opf, parallel, powerflow, utils
+from repro import (
+    core,
+    data,
+    engine,
+    grid,
+    mips,
+    mtl,
+    nn,
+    opf,
+    parallel,
+    powerflow,
+    serving,
+    utils,
+)
 
 __version__ = "1.1.0"
 
@@ -32,6 +45,7 @@ __all__ = [
     "core",
     "engine",
     "parallel",
+    "serving",
     "utils",
     "__version__",
 ]

@@ -50,6 +50,23 @@ from repro.utils.logging import get_logger
 
 LOGGER = get_logger("engine")
 
+
+def _predict_rows(
+    network: Module, normalizer: DatasetNormalizer, inputs_pu: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Batched inference whose per-row outputs are independent of batch width.
+
+    Requests ride whatever flush the async batcher happened to cut, so the
+    serving path must not let the flush width leak into the predicted warm
+    starts.  The shared :func:`repro.mtl.trainer.predict_physical` helper
+    provides the guarantee — every forward pass runs in canonical
+    fixed-width gemm blocks — so row ``i``'s prediction is bitwise identical
+    whether it was served alone, in a pair, or in the middle of a wide
+    coalesced batch, and trainer-side predictions match the serving path
+    bit for bit.
+    """
+    return predict_physical(network, normalizer, inputs_pu)
+
 #: Sentinel for :meth:`WarmStartEngine.load_artifact`: "use the fallback
 #: policy persisted in the artifact" (``None`` keeps meaning no recovery).
 PERSISTED_FALLBACK = object()
@@ -274,8 +291,12 @@ class WarmStartEngine:
 
     # ---------------------------------------------------------------- inference
     def predict_physical(self, inputs_pu: np.ndarray) -> Dict[str, np.ndarray]:
-        """Batched inference for raw p.u. load vectors; outputs in physical units."""
-        return predict_physical(self.network, self.normalizer, inputs_pu)
+        """Batched inference for raw p.u. load vectors; outputs in physical units.
+
+        Row-deterministic: a row's prediction is bitwise identical whether it
+        is served alone or inside a batch (see :func:`_predict_rows`).
+        """
+        return _predict_rows(self.network, self.normalizer, inputs_pu)
 
     def warm_starts_for(self, inputs_pu: np.ndarray) -> List[WarmStart]:
         """One forward pass over a batch of load vectors → one warm start per row."""
@@ -314,11 +335,16 @@ class WarmStartEngine:
         self,
         scenarios: ScenarioSet,
         n_workers: int = 1,
-        deadline_seconds: Optional[float] = None,
+        deadline_seconds: Optional[object] = None,
+        deadline: Optional[object] = None,
     ) -> SweepResult:
         """Serve a batch of scenarios: batched inference + fleet dispatch.
 
-        ``deadline_seconds`` bounds each scenario's wall time; expired solves
+        ``deadline_seconds`` (relative wall budgets) and ``deadline``
+        (absolute ``time.monotonic()`` deadlines) bound the request — each a
+        scalar shared by every scenario or a per-scenario sequence
+        (``inf``/``nan`` = unbounded), which is how the async batcher
+        forwards the different budgets of coalesced requests.  Expired solves
         retire with ``timed_out`` outcomes instead of raising.  When the
         engine's :class:`~repro.engine.fallback.CircuitBreaker` is open, the
         request skips inference entirely and is served from the degraded
@@ -330,8 +356,21 @@ class WarmStartEngine:
         a hot-swap concurrent with this request cannot produce a hybrid: the
         whole request is served by the generation recorded on the returned
         sweep's ``model_generation``.
+
+        An empty request short-circuits to an empty sweep stamped with the
+        live generation — it never reaches inference, the fleet or the
+        health machinery.
         """
         serving = self._serving
+        if len(scenarios) == 0:
+            sweep = SweepResult(
+                case_name=self.case.name,
+                n_workers=n_workers,
+                execution=self.execution,
+                schedule=self.schedule,
+            )
+            sweep.model_generation = serving.generation
+            return sweep
         degraded = self.breaker is not None and not self.breaker.allow_warm()
         if degraded:
             warm_starts = None
@@ -342,7 +381,7 @@ class WarmStartEngine:
             )
         else:
             warm_starts = warm_starts_from_predictions(
-                predict_physical(
+                _predict_rows(
                     serving.network,
                     serving.normalizer,
                     np.atleast_2d(scenarios.feature_matrix(self.case.base_mva)),
@@ -350,7 +389,7 @@ class WarmStartEngine:
                 self.opf_model,
             )
         sweep = self.fleet(n_workers).solve(
-            scenarios, warm_starts, deadline_seconds=deadline_seconds
+            scenarios, warm_starts, deadline_seconds=deadline_seconds, deadline=deadline
         )
         sweep.model_generation = serving.generation
         # Feed health machinery in scenario order so both count-based state
@@ -372,11 +411,26 @@ class WarmStartEngine:
         Pd_mw: np.ndarray,
         Qd_mvar: np.ndarray,
         n_workers: int = 1,
-        deadline_seconds: Optional[float] = None,
+        deadline_seconds: Optional[object] = None,
+        deadline: Optional[object] = None,
     ) -> SweepResult:
-        """Serve raw per-bus load matrices (one row per scenario, MW/MVAr)."""
-        Pd_mw = np.atleast_2d(np.asarray(Pd_mw, dtype=float))
-        Qd_mvar = np.atleast_2d(np.asarray(Qd_mvar, dtype=float))
+        """Serve raw per-bus load matrices (one row per scenario, MW/MVAr).
+
+        Deadlines follow :meth:`serve` (scalar or one entry per row).  An
+        empty load matrix (zero rows or a zero-size array) is a valid empty
+        request and returns an empty generation-stamped sweep.
+        """
+        Pd_mw = np.asarray(Pd_mw, dtype=float)
+        Qd_mvar = np.asarray(Qd_mvar, dtype=float)
+        if Pd_mw.size == 0 and Qd_mvar.size == 0:
+            return self.serve(
+                ScenarioSet(self.case.name, []),
+                n_workers=n_workers,
+                deadline_seconds=deadline_seconds,
+                deadline=deadline,
+            )
+        Pd_mw = np.atleast_2d(Pd_mw)
+        Qd_mvar = np.atleast_2d(Qd_mvar)
         if Pd_mw.shape != Qd_mvar.shape:
             raise ValueError("Pd_mw and Qd_mvar must have matching shapes")
         # Row views into the validated matrices are enough: Scenario is frozen
@@ -386,7 +440,12 @@ class WarmStartEngine:
             self.case.name,
             [Scenario(i, Pd_mw[i], Qd_mvar[i]) for i in range(Pd_mw.shape[0])],
         )
-        return self.serve(scenarios, n_workers=n_workers, deadline_seconds=deadline_seconds)
+        return self.serve(
+            scenarios,
+            n_workers=n_workers,
+            deadline_seconds=deadline_seconds,
+            deadline=deadline,
+        )
 
     # --------------------------------------------------------------- evaluation
     def evaluate(
@@ -394,7 +453,8 @@ class WarmStartEngine:
         dataset: OPFDataset,
         max_problems: Optional[int] = None,
         n_workers: int = 1,
-        deadline_seconds: Optional[float] = None,
+        deadline_seconds: Optional[object] = None,
+        deadline: Optional[object] = None,
     ) -> OnlineEvaluation:
         """Warm-start every problem of ``dataset`` and aggregate the outcomes.
 
@@ -411,7 +471,7 @@ class WarmStartEngine:
         serving = self._serving
         t0 = time.perf_counter()
         warm_starts = warm_starts_from_predictions(
-            predict_physical(
+            _predict_rows(
                 serving.network, serving.normalizer, np.atleast_2d(dataset.inputs[:n])
             ),
             self.opf_model,
@@ -423,11 +483,10 @@ class WarmStartEngine:
             [Scenario(i, dataset.Pd_mw[i], dataset.Qd_mw[i]) for i in range(n)],
         )
         sweep = self.fleet(n_workers).solve(
-            scenarios, warm_starts, deadline_seconds=deadline_seconds
+            scenarios, warm_starts, deadline_seconds=deadline_seconds, deadline=deadline
         )
         sweep.model_generation = serving.generation
 
-        trips = 0 if self.breaker is None else self.breaker.trips
         evaluation = OnlineEvaluation(case_name=self.case.name)
         for outcome in sweep.outcomes:
             i = outcome.scenario_id
@@ -438,6 +497,14 @@ class WarmStartEngine:
             if self.drift_monitor is not None:
                 self.drift_monitor.observe_outcome(outcome)
                 drift_status = self.drift_monitor.status
+            # Evaluation traffic drives the breaker exactly like serving
+            # traffic (same scenario-id order), and each record snapshots the
+            # trip count *after* its own outcome was observed — previously the
+            # whole evaluation stamped a stale pre-sweep count and the breaker
+            # never saw evaluate-path fallbacks at all.
+            if self.breaker is not None:
+                self.breaker.record(outcome.used_fallback)
+            trips = 0 if self.breaker is None else self.breaker.trips
             evaluation.records.append(
                 OnlineRecord(
                     scenario_id=i,

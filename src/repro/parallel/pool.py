@@ -50,9 +50,13 @@ along topology-group lines first, then halved — until the culprit scenario is
 isolated and quarantined as a structured failed outcome.  Bisection fragments
 re-enter the normal solve paths, and lockstep row independence guarantees the
 surviving scenarios' results stay bit-identical to a fault-free sweep.
-Per-request wall deadlines ride along with each task and reach the solver's
-cooperative between-iteration checks; an expired scenario retires as a
-``timed_out`` outcome without perturbing its lockstep neighbours.
+Wall deadlines ride along with each task **per scenario** — a request-wide
+scalar and a per-scenario vector (the async batcher's coalesced-flush shape)
+normalise to the same per-row form — and reach the solver's cooperative
+between-iteration checks; an expired scenario retires as a ``timed_out``
+outcome without perturbing its lockstep neighbours, and a dispatched task
+whose deadlines have partially passed retires only the expired rows while
+solving the rest.
 Deterministic chaos for all of this comes from an optional
 :class:`~repro.testing.faults.FaultPlan` shipped to the workers with the
 initializer.
@@ -63,7 +67,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -366,14 +370,16 @@ def _lockstep_group(
     scenarios: Sequence[Scenario],
     warm_starts: Sequence[Optional[WarmStart]],
     window: Optional[int] = None,
-    deadline: Optional[float] = None,
+    deadline: Optional[object] = None,
 ) -> List[OPFResult]:
     """Lockstep first attempts for a *topology-pure* scenario group.
 
     Every scenario must share ``branch`` (its outage key); warm-start
     ``µ``/``Z`` are masked on topology changes exactly like the scalar path.
     ``window`` bounds the lockstep width (retire-and-refill streaming, see
-    :func:`repro.opf.batch.solve_opf_batch`).
+    :func:`repro.opf.batch.solve_opf_batch`).  ``deadline`` is a scalar or a
+    per-scenario vector of absolute wall deadlines (``inf`` = unbounded),
+    forwarded to the batch solver's per-row retirement checks.
     """
     options: OPFOptions = state["options"]
     base_model: OPFModel = state["model"]
@@ -403,12 +409,21 @@ def _lockstep_group(
     )
 
 
+def _row_deadline(deadlines: Optional[List[float]], pos: int) -> Optional[float]:
+    """The scalar deadline of one row (``None`` for unbounded/absent rows)."""
+    if deadlines is None:
+        return None
+    value = deadlines[pos]
+    return None if np.isinf(value) else float(value)
+
+
 def _lockstep_first_attempts(
     state: Dict[str, object],
     scenarios: List[Scenario],
     warm_starts: List[Optional[WarmStart]],
-    deadline: Optional[float] = None,
-) -> List[OPFResult]:
+    deadlines: Optional[List[float]] = None,
+    skip: Optional[Set[int]] = None,
+) -> List[Optional[OPFResult]]:
     """First (warm) attempts for a worker batch, solved in lockstep.
 
     Scenarios are grouped by topology — all load-only scenarios share the
@@ -417,28 +432,39 @@ def _lockstep_first_attempts(
     one fall back to the scalar path (a one-off topology gains nothing from
     the batch machinery).  Warm-start ``µ``/``Z`` are masked on topology
     changes exactly like the scalar path.
+
+    ``skip`` marks positions already retired (expired deadlines).  Grouping
+    and the scalar-vs-lockstep choice are still made over the *original* row
+    set — the scalar and lockstep paths differ in the last bits, so letting a
+    retired row shrink a pair into a singleton would flip its neighbour onto
+    a different numeric path.  Skipped positions return ``None``.
     """
+    skip = skip or set()
     results: List[Optional[OPFResult]] = [None] * len(scenarios)
     groups: Dict[Optional[int], List[int]] = {}
     for pos, scenario in enumerate(scenarios):
         groups.setdefault(scenario.outage_branch, []).append(pos)
     for branch, positions in groups.items():
+        live = [pos for pos in positions if pos not in skip]
+        if not live:
+            continue
         if len(positions) == 1:
             pos = positions[0]
             results[pos] = _solve_scenario(
-                state, scenarios[pos], warm_starts[pos], deadline=deadline
+                state, scenarios[pos], warm_starts[pos],
+                deadline=_row_deadline(deadlines, pos),
             )
             continue
         batch_results = _lockstep_group(
             state,
             branch,
-            [scenarios[pos] for pos in positions],
-            [warm_starts[pos] for pos in positions],
-            deadline=deadline,
+            [scenarios[pos] for pos in live],
+            [warm_starts[pos] for pos in live],
+            deadline=None if deadlines is None else [deadlines[pos] for pos in live],
         )
-        for pos, result in zip(positions, batch_results):
+        for pos, result in zip(live, batch_results):
             results[pos] = result
-    return results  # type: ignore[return-value]
+    return results
 
 
 def _outcome_for(
@@ -516,17 +542,33 @@ def _solve_batch_in_state(
     scenarios: List[Scenario],
     warm_starts: List[Optional[WarmStart]],
     worker_id: int,
-    deadline: Optional[float] = None,
+    deadlines: Optional[List[float]] = None,
+    skip: Optional[Set[int]] = None,
 ) -> List[ScenarioOutcome]:
+    """Solve a static chunk; positions in ``skip`` are omitted from the output.
+
+    The full (unfiltered) row set must be passed even when some rows have
+    already retired — chunk-level decisions (lockstep eligibility, topology
+    group sizes) are made over the original rows so that surviving rows stay
+    on the exact numeric path they would have taken in a deadline-free sweep.
+    """
+    skip = skip or set()
     if state.get("execution") == "batch" and len(scenarios) > 1:
-        firsts = _lockstep_first_attempts(state, scenarios, warm_starts, deadline=deadline)
+        firsts = _lockstep_first_attempts(
+            state, scenarios, warm_starts, deadlines=deadlines, skip=skip
+        )
         return [
-            _outcome_for(state, scenario, warm, worker_id, first=first, deadline=deadline)
-            for scenario, warm, first in zip(scenarios, warm_starts, firsts)
+            _outcome_for(
+                state, scenario, warm, worker_id, first=first,
+                deadline=_row_deadline(deadlines, pos),
+            )
+            for pos, (scenario, warm, first) in enumerate(zip(scenarios, warm_starts, firsts))
+            if pos not in skip
         ]
     return [
-        _outcome_for(state, scenario, warm, worker_id, deadline=deadline)
-        for scenario, warm in zip(scenarios, warm_starts)
+        _outcome_for(state, scenario, warm, worker_id, deadline=_row_deadline(deadlines, pos))
+        for pos, (scenario, warm) in enumerate(zip(scenarios, warm_starts))
+        if pos not in skip
     ]
 
 
@@ -537,7 +579,7 @@ def _solve_keyed_group_in_state(
     warm_starts: List[Optional[WarmStart]],
     worker_id: int,
     window: Optional[int] = None,
-    deadline: Optional[float] = None,
+    deadlines: Optional[List[float]] = None,
 ) -> List[ScenarioOutcome]:
     """Solve a topology-pure group on the elastic (steal/grouped) paths.
 
@@ -548,15 +590,18 @@ def _solve_keyed_group_in_state(
     """
     if state.get("execution") == "batch":
         firsts = _lockstep_group(
-            state, key, scenarios, warm_starts, window=window, deadline=deadline
+            state, key, scenarios, warm_starts, window=window, deadline=deadlines
         )
         return [
-            _outcome_for(state, scenario, warm, worker_id, first=first, deadline=deadline)
-            for scenario, warm, first in zip(scenarios, warm_starts, firsts)
+            _outcome_for(
+                state, scenario, warm, worker_id, first=first,
+                deadline=_row_deadline(deadlines, pos),
+            )
+            for pos, (scenario, warm, first) in enumerate(zip(scenarios, warm_starts, firsts))
         ]
     return [
-        _outcome_for(state, scenario, warm, worker_id, deadline=deadline)
-        for scenario, warm in zip(scenarios, warm_starts)
+        _outcome_for(state, scenario, warm, worker_id, deadline=_row_deadline(deadlines, pos))
+        for pos, (scenario, warm) in enumerate(zip(scenarios, warm_starts))
     ]
 
 
@@ -586,7 +631,10 @@ def _worker_identity() -> int:
 #: * ``window`` — optional lockstep window for ``keyed_group`` tasks;
 #: * ``attempt`` — crash-retry attempt number (0 = first dispatch), which
 #:   fault plans key on;
-#: * ``deadline`` — optional absolute ``time.monotonic()`` wall deadline.
+#: * ``deadline`` — ``None`` (unbounded task) or a tuple of absolute
+#:   ``time.monotonic()`` wall deadlines aligned with ``scenarios``
+#:   (``inf`` entries = unbounded rows).  A scalar is also accepted and
+#:   broadcast over the task's rows.
 
 
 def _make_task(
@@ -597,7 +645,7 @@ def _make_task(
     warm_starts: List[Optional[WarmStart]],
     worker_id: Optional[int],
     window: Optional[int],
-    deadline: Optional[float],
+    due: Optional[np.ndarray],
 ) -> Dict[str, object]:
     return {
         "kind": kind,
@@ -608,8 +656,22 @@ def _make_task(
         "worker_id": worker_id,
         "window": window,
         "attempt": 0,
-        "deadline": deadline,
+        "deadline": None if due is None else tuple(float(due[i]) for i in positions),
     }
+
+
+def _task_deadlines(task: Dict[str, object]) -> Optional[List[float]]:
+    """The task's per-row absolute deadlines (``None`` when unbounded).
+
+    Scalars broadcast over the task's scenarios so hand-built tasks keep
+    working; ``inf`` rows mean unbounded.
+    """
+    deadline = task["deadline"]
+    if deadline is None:
+        return None
+    if isinstance(deadline, (int, float)):
+        return [float(deadline)] * len(task["scenarios"])
+    return [float(d) for d in deadline]
 
 
 def _split_task(task: Dict[str, object]) -> Optional[List[Dict[str, object]]]:
@@ -637,6 +699,8 @@ def _split_task(task: Dict[str, object]) -> Optional[List[Dict[str, object]]]:
     for i, scenario in enumerate(scenarios):
         groups.setdefault(topology_key(scenario), []).append(i)
 
+    deadlines = _task_deadlines(task)
+
     def fragment(local: List[int], kind: str, key: Optional[int]) -> Dict[str, object]:
         return dict(
             task,
@@ -646,6 +710,7 @@ def _split_task(task: Dict[str, object]) -> Optional[List[Dict[str, object]]]:
             scenarios=[scenarios[i] for i in local],
             warm_starts=[warm_starts[i] for i in local],
             attempt=0,
+            deadline=None if deadlines is None else tuple(deadlines[i] for i in local),
         )
 
     if len(groups) > 1:
@@ -706,28 +771,65 @@ def _solve_task_in_state(
         spec = plan.raise_for(scenario_ids, attempt)
         if spec is not None:
             raise FaultInjectionError(spec.message)
-    deadline: Optional[float] = task["deadline"]
-    if deadline is not None and time.monotonic() >= deadline:
-        # The whole task missed its deadline before solving anything: retire
-        # every carried scenario as timed out, skipping the solver entirely.
+    deadlines = _task_deadlines(task)
+    warm_starts: List[Optional[WarmStart]] = task["warm_starts"]
+    retired: Dict[int, ScenarioOutcome] = {}
+    if deadlines is not None:
+        # Row-wise deadline gate: a coalesced task carries rows with different
+        # deadlines, so only the rows that already missed theirs retire as
+        # timed out — the rest are solved with their own per-row deadlines.
+        # Lockstep rows are bit-independent, so retiring a subset up front
+        # leaves the surviving rows' results bitwise identical to a sweep
+        # where the expired rows never existed.
+        now = time.monotonic()
         worker = _task_worker_label(task)
-        return [
-            _retired_outcome(s, worker, "wall deadline exceeded", timed_out=True)
-            for s in scenarios
-        ]
+        for pos, row_deadline in enumerate(deadlines):
+            if now >= row_deadline:
+                retired[pos] = _retired_outcome(
+                    scenarios[pos], worker, "wall deadline exceeded", timed_out=True
+                )
+        if retired and len(retired) == len(scenarios):
+            return [retired[pos] for pos in range(len(scenarios))]
+
     if task["kind"] == "static_chunk":
-        return _solve_batch_in_state(
-            state, scenarios, task["warm_starts"], _task_worker_label(task), deadline=deadline
+        # The static path must see the full original row set: its topology
+        # grouping picks the scalar shortcut for one-off topologies, and that
+        # choice has to match the deadline-free sweep bit-for-bit.  Expired
+        # rows are skipped inside, never re-grouped around.
+        solved = _solve_batch_in_state(
+            state,
+            scenarios,
+            warm_starts,
+            _task_worker_label(task),
+            deadlines=deadlines,
+            skip=set(retired),
         )
-    return _solve_keyed_group_in_state(
-        state,
-        task["key"],
-        scenarios,
-        task["warm_starts"],
-        _task_worker_label(task),
-        window=task["window"],
-        deadline=deadline,
-    )
+    else:
+        # Keyed groups always march in lockstep and lockstep rows are
+        # bit-independent, so simply dropping the expired rows keeps the
+        # survivors on their canonical numeric path.
+        if retired:
+            live = [pos for pos in range(len(scenarios)) if pos not in retired]
+            scenarios = [scenarios[pos] for pos in live]
+            warm_starts = [warm_starts[pos] for pos in live]
+            if deadlines is not None:
+                deadlines = [deadlines[pos] for pos in live]
+        solved = _solve_keyed_group_in_state(
+            state,
+            task["key"],
+            scenarios,
+            warm_starts,
+            _task_worker_label(task),
+            window=task["window"],
+            deadlines=deadlines,
+        )
+    if not retired:
+        return solved
+    outs: List[ScenarioOutcome] = []
+    solved_iter = iter(solved)
+    for pos in range(len(task["scenarios"])):
+        outs.append(retired[pos] if pos in retired else next(solved_iter))
+    return outs
 
 
 def _solve_task(task: Dict[str, object]) -> List[ScenarioOutcome]:
@@ -822,38 +924,66 @@ class SolverFleet:
 
     # ------------------------------------------------------------------ solving
     @staticmethod
-    def _absolute_deadline(
-        deadline_seconds: Optional[float], deadline: Optional[float]
-    ) -> Optional[float]:
-        """Combine a relative budget and an absolute deadline (minimum wins)."""
+    def _deadline_vector(
+        deadline_seconds: Optional[object],
+        deadline: Optional[object],
+        n_scenarios: int,
+    ) -> Optional[np.ndarray]:
+        """Normalise request deadlines to one absolute deadline per scenario.
+
+        ``deadline_seconds`` (relative wall budgets) and ``deadline``
+        (absolute ``time.monotonic()`` deadlines) each accept a scalar —
+        broadcast over the sweep — or a per-scenario sequence; ``inf`` /
+        ``nan`` entries mean unbounded.  When both are given the earlier
+        deadline wins per scenario.  Returns ``None`` when no scenario is
+        bounded (the unbounded fast path).
+        """
+
+        def as_vector(value: object, label: str) -> np.ndarray:
+            arr = np.asarray(value, dtype=float)
+            if arr.ndim == 0:
+                arr = np.full(n_scenarios, float(arr))
+            elif arr.shape != (n_scenarios,):
+                raise ValueError(f"{label} must be a scalar or have one entry per scenario")
+            return np.where(np.isnan(arr), np.inf, arr)
+
+        due: Optional[np.ndarray] = None
         if deadline_seconds is not None:
-            if deadline_seconds <= 0:
+            budgets = as_vector(deadline_seconds, "deadline_seconds")
+            if np.any(budgets[np.isfinite(budgets)] <= 0):
                 raise ValueError("deadline_seconds must be positive")
-            relative = time.monotonic() + deadline_seconds
-            return relative if deadline is None else min(relative, deadline)
-        return deadline
+            due = time.monotonic() + budgets
+        if deadline is not None:
+            absolute = as_vector(deadline, "deadline")
+            due = absolute if due is None else np.minimum(due, absolute)
+        if due is None or not np.any(np.isfinite(due)):
+            return None
+        return due
 
     def solve(
         self,
         scenario_set: ScenarioSet,
         warm_starts: Optional[List[Optional[WarmStart]]] = None,
-        deadline_seconds: Optional[float] = None,
-        deadline: Optional[float] = None,
+        deadline_seconds: Optional[object] = None,
+        deadline: Optional[object] = None,
     ) -> SweepResult:
         """Solve every scenario of ``scenario_set`` on the fleet.
 
         ``warm_starts`` is an optional per-scenario list (``None`` entries mean
         a cold start), typically produced by batched MTL inference in the
-        parent process.  ``deadline_seconds`` (a wall budget for this request)
-        or ``deadline`` (an absolute ``time.monotonic()`` deadline) bound the
-        sweep cooperatively: scenarios that miss the cut retire as
-        ``timed_out`` outcomes instead of blocking the request.
+        parent process.  ``deadline_seconds`` (wall budgets for this request)
+        and ``deadline`` (absolute ``time.monotonic()`` deadlines) bound the
+        sweep cooperatively — each a scalar shared by the whole sweep or a
+        per-scenario sequence (``inf``/``nan`` = unbounded), the shape a
+        deadline-aware batcher needs when it coalesces requests with
+        different budgets into one sweep.  Scenarios that miss their cut
+        retire as ``timed_out`` outcomes instead of blocking the request.
         """
         if warm_starts is None:
             warm_starts = [None] * len(scenario_set)
         if len(warm_starts) != len(scenario_set):
             raise ValueError("warm_starts must have one entry per scenario")
-        due = self._absolute_deadline(deadline_seconds, deadline)
+        due = self._deadline_vector(deadline_seconds, deadline, len(scenario_set))
 
         scenarios = list(scenario_set)
         start = time.perf_counter()
@@ -881,8 +1011,8 @@ class SolverFleet:
         self,
         scenario_sets: Sequence[ScenarioSet],
         warm_starts: Optional[Sequence[Optional[List[Optional[WarmStart]]]]] = None,
-        deadline_seconds: Optional[float] = None,
-        deadline: Optional[float] = None,
+        deadline_seconds: Optional[object] = None,
+        deadline: Optional[object] = None,
     ) -> List[SweepResult]:
         """Solve several sweeps at once with cross-sweep contingency batching.
 
@@ -902,7 +1032,8 @@ class SolverFleet:
         ``errors`` / ``retries`` / ``quarantined`` counters — so aggregate
         cost by summing per-scenario ``solve_seconds``, not walls across
         sweeps.  ``deadline_seconds`` / ``deadline`` bound the joint dispatch
-        like :meth:`solve`.
+        like :meth:`solve`; per-scenario sequences follow the flattened
+        dispatch order (sweep 0's scenarios, then sweep 1's, …).
         """
         sets = list(scenario_sets)
         if warm_starts is None:
@@ -923,7 +1054,7 @@ class SolverFleet:
                 flat_warms.append(warm)
                 origins.append(si)
 
-        due = self._absolute_deadline(deadline_seconds, deadline)
+        due = self._deadline_vector(deadline_seconds, deadline, len(flat_scenarios))
         start = time.perf_counter()
         outcomes, stats = self._dispatch_elastic(flat_scenarios, flat_warms, due)
         wall = time.perf_counter() - start
@@ -957,7 +1088,7 @@ class SolverFleet:
         self,
         scenarios: List[Scenario],
         warm_starts: List[Optional[WarmStart]],
-        deadline: Optional[float] = None,
+        due: Optional[np.ndarray] = None,
     ) -> Tuple[List[ScenarioOutcome], Dict[str, int]]:
         """Cost-balanced fixed chunks, one per worker (the legacy scatter).
 
@@ -970,7 +1101,7 @@ class SolverFleet:
         tasks = [
             _make_task(
                 "static_chunk", positions, None, scenarios, warm_starts,
-                worker_id, None, deadline,
+                worker_id, None, due,
             )
             for worker_id, positions in enumerate(assignment)
             if positions
@@ -981,7 +1112,7 @@ class SolverFleet:
         self,
         scenarios: List[Scenario],
         warm_starts: List[Optional[WarmStart]],
-        deadline: Optional[float] = None,
+        due: Optional[np.ndarray] = None,
     ) -> Tuple[List[ScenarioOutcome], Dict[str, int]]:
         """Shared micro-batch queue with stealing; outcomes returned by position.
 
@@ -1006,7 +1137,7 @@ class SolverFleet:
             tasks = [
                 _make_task(
                     "keyed_group", positions, key, scenarios, warm_starts,
-                    0, self.microbatch, deadline,
+                    0, self.microbatch, due,
                 )
                 for key, positions in grouped.items()
             ]
@@ -1017,7 +1148,7 @@ class SolverFleet:
             tasks = [
                 _make_task(
                     "keyed_group", microbatch.positions, microbatch.key,
-                    scenarios, warm_starts, None, None, deadline,
+                    scenarios, warm_starts, None, None, due,
                 )
                 for microbatch in microbatches
             ]

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.engine import (
+    CircuitBreaker,
     ColdRestartFallback,
     NoFallback,
     RelaxedWarmRetryFallback,
@@ -13,7 +14,7 @@ from repro.engine import (
 from repro.data import generate_dataset
 from repro.opf import OPFOptions, relaxed_options, solve_opf
 from repro.mips.options import MIPSOptions
-from repro.parallel import SolverFleet, generate_scenarios, run_scenario_sweep
+from repro.parallel import ScenarioSet, SolverFleet, generate_scenarios, run_scenario_sweep
 
 
 @pytest.fixture(scope="module")
@@ -217,6 +218,91 @@ def test_sweep_relaxed_fallback_counts_every_recovery_solve(case9_fixture):
     assert not outcome.success and outcome.used_fallback and not outcome.fallback_success
     assert outcome.iterations == 2
     assert outcome.iterations_fallback == 4  # relaxed retry (2) + cold restart (2)
+
+
+# ------------------------------------------------ serving-path accounting fixes
+def test_serve_empty_request_short_circuits(engine9, case9_fixture):
+    """Empty requests return an empty generation-stamped sweep, no solves."""
+    sweep = engine9.serve(ScenarioSet(case9_fixture.name, []))
+    assert sweep.n_scenarios == 0
+    assert sweep.outcomes == []
+    assert sweep.model_generation == engine9.generation
+    loads = engine9.serve_loads(
+        np.zeros((0, case9_fixture.n_bus)), np.zeros((0, case9_fixture.n_bus))
+    )
+    assert loads.n_scenarios == 0
+    assert loads.model_generation == engine9.generation
+
+
+def test_serve_empty_request_skips_health_machinery(trained_trainer9, case9_fixture):
+    """An empty request must not feed the breaker (it served zero scenarios)."""
+    breaker = CircuitBreaker(window=4, threshold=0.5, min_observations=2, cooldown=8)
+    engine = WarmStartEngine.from_trainer(trained_trainer9, breaker=breaker)
+    try:
+        sweep = engine.serve(ScenarioSet(case9_fixture.name, []))
+        assert sweep.n_scenarios == 0
+        assert breaker.health.n_observations == 0
+        assert breaker.trips == 0 and breaker.state == CircuitBreaker.CLOSED
+    finally:
+        engine.close()
+
+
+def test_evaluate_drives_breaker_like_serve(trained_trainer9, dataset9):
+    """Evaluate-path fallbacks drive the breaker exactly like serve-path ones.
+
+    ``evaluate`` used to snapshot ``breaker.trips`` once before its record
+    loop and never feed the breaker at all, so evaluation traffic was
+    invisible to the health machinery and every record carried the same stale
+    trip count.
+    """
+    n = 5
+
+    def starved(breaker):
+        # max_it=1 guarantees every warm attempt fails, so each scenario is
+        # one fallback observation — enough to trip a 2-observation breaker.
+        return WarmStartEngine.from_trainer(
+            trained_trainer9,
+            opf_options=OPFOptions(mips=MIPSOptions(max_it=1)),
+            fallback="cold_restart",
+            breaker=breaker,
+        )
+
+    serve_breaker = CircuitBreaker(window=4, threshold=0.5, min_observations=2, cooldown=100)
+    eval_breaker = CircuitBreaker(window=4, threshold=0.5, min_observations=2, cooldown=100)
+    serve_engine = starved(serve_breaker)
+    eval_engine = starved(eval_breaker)
+    try:
+        serve_engine.serve_loads(dataset9.Pd_mw[:n], dataset9.Qd_mw[:n])
+        evaluation = eval_engine.evaluate(dataset9, max_problems=n)
+    finally:
+        serve_engine.close()
+        eval_engine.close()
+    assert eval_breaker.trips == serve_breaker.trips > 0
+    assert eval_breaker.state == serve_breaker.state
+    # Each record snapshots the trip count *after* its own outcome landed:
+    # record 0 precedes min_observations, record 1 trips the breaker, the
+    # open breaker then just counts cooldown.
+    assert [record.fallback_trips for record in evaluation.records] == [0, 1, 1, 1, 1]
+    assert evaluation.records[-1].fallback_trips == eval_breaker.trips
+
+
+def test_serving_inference_is_batch_width_invariant(engine9, dataset9):
+    """Row predictions are bitwise identical whatever batch width served them.
+
+    The async batcher coalesces requests into arbitrary flush widths, so the
+    serving forward pass pins every matmul to one canonical gemm shape —
+    a row's bits must not depend on how the batcher cut its flush.
+    """
+    inputs = dataset9.inputs[:5]
+    full = engine9.predict_physical(inputs)
+    per_row = [engine9.predict_physical(inputs[i : i + 1]) for i in range(5)]
+    head = engine9.predict_physical(inputs[:2])
+    tail = engine9.predict_physical(inputs[2:])
+    for key, value in full.items():
+        np.testing.assert_array_equal(
+            np.vstack([chunk[key] for chunk in per_row]), value
+        )
+        np.testing.assert_array_equal(np.vstack([head[key], tail[key]]), value)
 
 
 # ------------------------------------------------------------------------ fleet
