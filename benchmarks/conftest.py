@@ -31,7 +31,7 @@ N_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "24"))
 N_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "20"))
 
 #: Where the machine-readable perf summary of a benchmark session is written.
-PERF_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_pr9.json"
+PERF_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_pr10.json"
 
 #: Scalar perf findings recorded by the benchmark modules during the session
 #: (wall times, speedups, solver phase breakdowns), keyed by benchmark name.
@@ -52,7 +52,7 @@ def perf_recorder():
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Write ``BENCH_pr9.json`` so perf is tracked across PRs.
+    """Write ``BENCH_pr10.json`` so perf is tracked across PRs.
 
     Only written when at least one benchmark recorded metrics (running the
     unit-test suite alone leaves the file untouched).

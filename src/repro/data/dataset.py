@@ -17,10 +17,10 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.grid.components import Case
-from repro.grid.perturb import sample_loads
+from repro.grid.perturb import CorrelatedLoadSampler, iter_load_samples, sample_loads
 from repro.opf.model import OPFModel, VariableIndex
 from repro.opf.solver import OPFOptions
-from repro.parallel.pool import EXECUTION_MODES, run_scenario_sweep
+from repro.parallel.pool import EXECUTION_MODES, SolverFleet, run_scenario_sweep
 from repro.parallel.scenarios import Scenario, ScenarioSet
 from repro.parallel.scheduler import SCHEDULES
 from repro.utils.logging import get_logger
@@ -146,6 +146,18 @@ class OPFDataset:
             )
 
 
+def _batched(iterable, batch: int):
+    """Chop any sample iterable into lists of at most ``batch`` items."""
+    block: list = []
+    for item in iterable:
+        block.append(item)
+        if len(block) == batch:
+            yield block
+            block = []
+    if block:
+        yield block
+
+
 def generate_dataset(
     case: Case,
     n_samples: int,
@@ -158,6 +170,8 @@ def generate_dataset(
     execution: str = "batch",
     schedule: str = "static",
     microbatch: Optional[int] = None,
+    sampler: Optional[CorrelatedLoadSampler] = None,
+    stream_batch: Optional[int] = None,
 ) -> OPFDataset:
     """Generate ground-truth data by solving sampled scenarios with MIPS.
 
@@ -190,54 +204,118 @@ def generate_dataset(
     the cold-MIPS reference, which makes the reported speedups *conservative*:
     warm starts are measured against the strongest available cold baseline
     rather than the slow per-scenario loop.
+
+    **Stochastic streams.**  ``sampler`` swaps the paper's independent
+    per-bus draws for spatially-correlated ones
+    (:class:`~repro.grid.perturb.CorrelatedLoadSampler`), and ``stream_batch``
+    feeds the sweep in bounded batches through one persistent fleet instead of
+    materialising every load array up front — the load-side memory footprint
+    becomes ``O(stream_batch)``, not ``O(n_samples)``.  Sampler draws are
+    keyed per scenario, so the generated dataset is bit-identical for any
+    ``stream_batch`` (including the unbatched default) — the streamed blocks
+    always dispatch elastically (keyed lockstep groups, whatever ``schedule``
+    says), because the static path's singleton scalar shortcut would tie the
+    numeric path to the chopping.  Without either knob, the classic
+    materialised single-sweep path runs unchanged (bit-pinned by the PR 4
+    semantics tests).
     """
     options = options or OPFOptions()
     if execution not in EXECUTION_MODES:
         raise ValueError(f"execution must be one of {EXECUTION_MODES}")
     if schedule not in SCHEDULES:
         raise ValueError(f"schedule must be one of {SCHEDULES}")
-    samples = sample_loads(case, n_samples, variation=variation, seed=seed)
-    scenario_set = ScenarioSet(
-        case.name,
-        [Scenario(i, sample.Pd, sample.Qd) for i, sample in enumerate(samples)],
-    )
-    sweep = run_scenario_sweep(
-        case,
-        scenario_set,
-        n_workers=n_workers,
-        options=options,
-        collect_solutions=True,
-        model=model if n_workers == 1 else None,
-        execution=execution,
-        schedule=schedule,
-        microbatch=microbatch,
-    )
+    if stream_batch is not None and stream_batch < 1:
+        raise ValueError("stream_batch must be positive")
+    if sampler is not None and sampler.case.n_bus != case.n_bus:
+        raise ValueError(
+            f"sampler was built for a {sampler.case.n_bus}-bus case, "
+            f"got {case.n_bus} buses"
+        )
 
     idx = model.idx if model is not None else VariableIndex(nb=case.n_bus, ng=case.n_gen)
     rows_in, pd_rows, qd_rows = [], [], []
     rows_targets: Dict[str, list] = {task: [] for task in TASK_NAMES}
     objectives, iterations, seconds = [], [], []
 
-    for sample, outcome in zip(samples, sweep.outcomes):
-        if not outcome.success:
-            LOGGER.warning("scenario %d failed to converge; %s", sample.scenario_id,
-                           "dropping" if drop_failures else "keeping")
-            if drop_failures:
-                continue
-        solution = outcome.solution
-        assert solution is not None
-        parts = idx.split(solution.x)
-        rows_in.append(sample.feature_vector() / case.base_mva)
-        for task in ("Va", "Vm", "Pg", "Qg"):
-            rows_targets[task].append(parts[task].copy())
-        rows_targets["lam"].append(solution.lam)
-        rows_targets["z"].append(solution.z)
-        rows_targets["mu"].append(solution.mu)
-        objectives.append(outcome.objective)
-        iterations.append(outcome.iterations)
-        seconds.append(outcome.solve_seconds)
-        pd_rows.append(sample.Pd)
-        qd_rows.append(sample.Qd)
+    def collect(samples, outcomes) -> None:
+        for sample, outcome in zip(samples, outcomes):
+            if not outcome.success:
+                LOGGER.warning("scenario %d failed to converge; %s", sample.scenario_id,
+                               "dropping" if drop_failures else "keeping")
+                if drop_failures:
+                    continue
+            solution = outcome.solution
+            assert solution is not None
+            parts = idx.split(solution.x)
+            rows_in.append(sample.feature_vector() / case.base_mva)
+            for task in ("Va", "Vm", "Pg", "Qg"):
+                rows_targets[task].append(parts[task].copy())
+            rows_targets["lam"].append(solution.lam)
+            rows_targets["z"].append(solution.z)
+            rows_targets["mu"].append(solution.mu)
+            objectives.append(outcome.objective)
+            iterations.append(outcome.iterations)
+            seconds.append(outcome.solve_seconds)
+            pd_rows.append(sample.Pd)
+            qd_rows.append(sample.Qd)
+
+    if sampler is None and stream_batch is None:
+        samples = sample_loads(case, n_samples, variation=variation, seed=seed)
+        scenario_set = ScenarioSet(
+            case.name,
+            [Scenario(i, sample.Pd, sample.Qd) for i, sample in enumerate(samples)],
+            n_bus=case.n_bus,
+        )
+        sweep = run_scenario_sweep(
+            case,
+            scenario_set,
+            n_workers=n_workers,
+            options=options,
+            collect_solutions=True,
+            model=model if n_workers == 1 else None,
+            execution=execution,
+            schedule=schedule,
+            microbatch=microbatch,
+        )
+        collect(samples, sweep.outcomes)
+    else:
+        batch = stream_batch if stream_batch is not None else max(int(n_samples), 1)
+        if sampler is not None:
+            if not (seed is None or isinstance(seed, (int, np.integer))):
+                raise ValueError(
+                    "the correlated-sampler path needs an integer (or None) "
+                    "seed — per-scenario draws are keyed on it"
+                )
+            blocks = sampler.stream(
+                n_samples, batch, seed=None if seed is None else int(seed)
+            )
+        else:
+            blocks = _batched(
+                iter_load_samples(case, n_samples, variation=variation, seed=seed),
+                batch,
+            )
+        # The streamed path always dispatches elastically: keyed topology
+        # groups lockstep even as singletons, so chopping the stream cannot
+        # flip a scenario between the scalar and lockstep numeric paths (the
+        # static chunk path's singleton shortcut would break the documented
+        # bit-invariance for stream_batch=1).
+        with SolverFleet(
+            case,
+            options=options,
+            n_workers=n_workers,
+            collect_solutions=True,
+            model=model if n_workers == 1 else None,
+            execution=execution,
+            schedule="steal",
+            microbatch=microbatch,
+        ) as fleet:
+            for block in blocks:
+                scenario_set = ScenarioSet(
+                    case.name,
+                    [Scenario(s.scenario_id, s.Pd, s.Qd) for s in block],
+                    n_bus=case.n_bus,
+                )
+                collect(block, fleet.solve(scenario_set).outcomes)
 
     if not rows_in:
         raise RuntimeError(f"no scenario of {case.name} converged; cannot build a dataset")

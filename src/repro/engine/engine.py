@@ -26,7 +26,7 @@ import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -169,6 +169,10 @@ class WarmStartEngine:
         self.crash_retries = crash_retries
         #: Live fleets keyed by worker count; created lazily, kept across calls.
         self._fleets: Dict[int, SolverFleet] = {}
+        #: Trajectory-serving fleets (``collect_solutions=True`` — the
+        #: step-to-step warm chain *is* the previous step's solutions), kept
+        #: separate so ordinary serving keeps its lean no-solution transfers.
+        self._trajectory_fleets: Dict[int, SolverFleet] = {}
 
     # ------------------------------------------------------------ serving state
     @property
@@ -424,7 +428,7 @@ class WarmStartEngine:
         Qd_mvar = np.asarray(Qd_mvar, dtype=float)
         if Pd_mw.size == 0 and Qd_mvar.size == 0:
             return self.serve(
-                ScenarioSet(self.case.name, []),
+                ScenarioSet(self.case.name, [], n_bus=self.case.n_bus),
                 n_workers=n_workers,
                 deadline_seconds=deadline_seconds,
                 deadline=deadline,
@@ -439,6 +443,7 @@ class WarmStartEngine:
         scenarios = ScenarioSet(
             self.case.name,
             [Scenario(i, Pd_mw[i], Qd_mvar[i]) for i in range(Pd_mw.shape[0])],
+            n_bus=self.case.n_bus,
         )
         return self.serve(
             scenarios,
@@ -446,6 +451,113 @@ class WarmStartEngine:
             deadline_seconds=deadline_seconds,
             deadline=deadline,
         )
+
+    def trajectory_fleet(self, n_workers: int = 1) -> SolverFleet:
+        """The persistent solution-collecting fleet for trajectory serving.
+
+        Separate from :meth:`fleet` because trajectory chaining needs every
+        converged solve's primal/dual variables shipped back
+        (``collect_solutions=True``), which ordinary serving deliberately
+        avoids paying for.
+        """
+        fleet = self._trajectory_fleets.get(n_workers)
+        if fleet is None:
+            fleet = SolverFleet(
+                self.case,
+                options=self.opf_options,
+                n_workers=n_workers,
+                fallback=self.fallback,
+                collect_solutions=True,
+                model=self.opf_model if n_workers == 1 else None,
+                execution=self.execution,
+                schedule=self.schedule,
+                microbatch=self.microbatch,
+                faults=self.faults,
+                crash_retries=self.crash_retries,
+            )
+            self._trajectory_fleets[n_workers] = fleet
+            LOGGER.info(
+                "%s: started trajectory fleet (%s-mode, %s-scheduled) with %d worker(s)",
+                self.case.name,
+                self.execution,
+                self.schedule,
+                n_workers,
+            )
+        return fleet
+
+    def serve_trajectory(
+        self,
+        steps: "Sequence[ScenarioSet]",
+        n_workers: int = 1,
+        warm_chain: bool = True,
+        deadline_seconds: Optional[object] = None,
+    ) -> "TrajectoryResult":
+        """Serve a time-coupled multi-period trajectory with warm chaining.
+
+        ``steps`` is the per-period scenario sets of one trajectory (equally
+        sized — see :func:`repro.parallel.trajectory.trajectory_steps`).
+        Step 0 is warm-started from batched MTL inference exactly like
+        :meth:`serve`; every later step chains from its predecessor's
+        converged solutions (primal + equality multipliers, with ``µ``/``Z``
+        masked across topology changes) — the model predicts once, the
+        trajectory's temporal locality does the rest.  ``warm_chain=False``
+        serves every step from the model instead (the per-step baseline the
+        benchmark compares against).
+
+        The published :class:`ServingModel` is snapshotted once for the whole
+        trajectory and stamped on every per-step sweep; the health machinery
+        is fed per step in scenario order, like :meth:`serve`.
+        """
+        from repro.parallel.trajectory import MultiPeriodSweep, TrajectoryResult
+
+        steps = list(steps)
+        serving = self._serving
+        if not steps:
+            return TrajectoryResult(case_name=self.case.name)
+
+        degraded = self.breaker is not None and not self.breaker.allow_warm()
+
+        def model_warm_starts(step: ScenarioSet) -> Optional[List[WarmStart]]:
+            if degraded or len(step) == 0:
+                return None
+            return warm_starts_from_predictions(
+                _predict_rows(
+                    serving.network,
+                    serving.normalizer,
+                    np.atleast_2d(step.feature_matrix(self.case.base_mva)),
+                ),
+                self.opf_model,
+            )
+
+        fleet = self.trajectory_fleet(n_workers)
+        if warm_chain:
+            driver = MultiPeriodSweep(fleet, warm_chain=True)
+            result = driver.run(
+                steps,
+                initial_warm_starts=model_warm_starts(steps[0]),
+                deadline_seconds=deadline_seconds,
+            )
+        else:
+            # Per-step model serving: no chaining, every period predicted.
+            result = TrajectoryResult(case_name=self.case.name)
+            for t, step in enumerate(steps):
+                sweep = fleet.solve(
+                    step,
+                    warm_starts=model_warm_starts(step),
+                    deadline_seconds=deadline_seconds,
+                )
+                sweep.period = t
+                result.steps.append(sweep)
+        for sweep in result.steps:
+            sweep.model_generation = serving.generation
+            ordered = sorted(sweep.outcomes, key=lambda o: o.scenario_id)
+            if self.drift_monitor is not None:
+                for outcome in ordered:
+                    self.drift_monitor.observe_outcome(outcome)
+            if self.breaker is not None:
+                for outcome in ordered:
+                    self.breaker.record(outcome.used_fallback)
+        return result
 
     # --------------------------------------------------------------- evaluation
     def evaluate(
@@ -481,6 +593,7 @@ class WarmStartEngine:
         scenarios = ScenarioSet(
             self.case.name,
             [Scenario(i, dataset.Pd_mw[i], dataset.Qd_mw[i]) for i in range(n)],
+            n_bus=self.case.n_bus,
         )
         sweep = self.fleet(n_workers).solve(
             scenarios, warm_starts, deadline_seconds=deadline_seconds, deadline=deadline
@@ -573,6 +686,9 @@ class WarmStartEngine:
         for fleet in self._fleets.values():
             fleet.close()
         self._fleets.clear()
+        for fleet in self._trajectory_fleets.values():
+            fleet.close()
+        self._trajectory_fleets.clear()
 
     def __enter__(self) -> "WarmStartEngine":
         return self

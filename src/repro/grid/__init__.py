@@ -16,9 +16,11 @@ from repro.grid.components import (
 from repro.grid.cases import available_cases, case9, case14, get_case, register_case
 from repro.grid.io import case_from_matpower, case_to_matpower
 from repro.grid.perturb import (
+    CorrelatedLoadSampler,
     LoadSample,
     iter_load_samples,
     nominal_load,
+    sample_load_trajectory,
     sample_loads,
     scaled_load,
     stressed_area_load,
@@ -45,7 +47,9 @@ __all__ = [
     "available_cases",
     "case_from_matpower",
     "case_to_matpower",
+    "CorrelatedLoadSampler",
     "LoadSample",
+    "sample_load_trajectory",
     "sample_loads",
     "iter_load_samples",
     "scaled_load",

@@ -9,7 +9,15 @@ from repro.parallel.pool import (
     SweepResult,
     run_scenario_sweep,
 )
-from repro.parallel.scenarios import Scenario, ScenarioSet, generate_scenarios
+from repro.parallel.scenarios import (
+    Scenario,
+    ScenarioSet,
+    generate_contingency_set,
+    generate_scenarios,
+    outage_keeps_connected,
+    screened_outage_sets,
+    validate_outage_branches,
+)
 from repro.parallel.scheduler import (
     SCHEDULES,
     MicroBatch,
@@ -20,6 +28,12 @@ from repro.parallel.scheduler import (
     topology_key,
 )
 from repro.parallel.supervision import PoolClosedError, SupervisedPool
+from repro.parallel.trajectory import (
+    MultiPeriodSweep,
+    TrajectoryResult,
+    chained_warm_start,
+    trajectory_steps,
+)
 
 __all__ = [
     "EXECUTION_MODES",
@@ -27,6 +41,10 @@ __all__ = [
     "Scenario",
     "ScenarioSet",
     "generate_scenarios",
+    "generate_contingency_set",
+    "outage_keeps_connected",
+    "screened_outage_sets",
+    "validate_outage_branches",
     "ScenarioOutcome",
     "ScenarioSolution",
     "SolverFleet",
@@ -43,4 +61,8 @@ __all__ = [
     "PAPER_WORKER_COUNTS",
     "PoolClosedError",
     "SupervisedPool",
+    "MultiPeriodSweep",
+    "TrajectoryResult",
+    "chained_warm_start",
+    "trajectory_steps",
 ]

@@ -37,8 +37,9 @@ the rest of its former chunk is stolen by the other workers, and the
 in-process fleet streams each topology group through a bounded lockstep
 window whose retired slots are refilled from the queue between iterations.
 :meth:`SolverFleet.solve_many` extends the same machinery across *several*
-sweeps at once: scenarios of different N-1 sweeps that share an outage branch
-merge into one lockstep group (cross-sweep contingency batching).  Scheduling
+sweeps at once: scenarios of different sweeps that share a topology key (the
+sorted outage-branch *set* — N-1 singles and N-k tuples alike) merge into one
+lockstep group (cross-sweep contingency batching).  Scheduling
 only decides where and with whom a scenario is solved; lockstep solves are
 row-independent bit for bit, so per-scenario results are invariant under
 chunking, steal order, worker count and micro-batch size.
@@ -77,7 +78,7 @@ from repro.opf.model import OPFModel
 from repro.opf.result import OPFResult
 from repro.opf.solver import OPFOptions, solve_opf
 from repro.opf.warmstart import WarmStart
-from repro.parallel.scenarios import Scenario, ScenarioSet
+from repro.parallel.scenarios import Scenario, ScenarioSet, validate_outage_branches
 from repro.parallel.scheduler import (
     SCHEDULES,
     balanced_assignment,
@@ -202,6 +203,10 @@ class SweepResult:
     #: bare-fleet sweeps).  A request in flight across a hot-swap keeps the
     #: generation it snapshotted on entry — never a hybrid.
     model_generation: int = 0
+    #: Trajectory step index when this sweep is one period of a multi-period
+    #: sweep (stamped by :class:`~repro.parallel.trajectory.MultiPeriodSweep`);
+    #: ``None`` for ordinary one-shot sweeps.
+    period: Optional[int] = None
 
     @property
     def n_scenarios(self) -> int:
@@ -289,25 +294,31 @@ def _init_worker(
     )
 
 
-def _outage_case_and_model(state: Dict[str, object], branch: int):
-    """Per-worker memo of outaged-network cases/models, keyed by branch.
+def _outage_case_and_model(state: Dict[str, object], branches: Tuple[int, ...]):
+    """Per-worker memo of outaged-network cases/models, keyed by topology key.
 
-    Sweeps draw outages from a small candidate set, so the same topology
-    recurs across scenarios; building its admittances and structure caches
-    once per worker keeps contingency scenarios as cheap as load-only ones.
-    Loads stay at the base-case values — scenarios override them per solve.
+    The key is the scenario's sorted outage-branch tuple — an N-1 single and
+    an N-2 pair memoise the same way.  Sweeps draw outages from a small
+    candidate set, so the same topology recurs across scenarios; building its
+    admittances and structure caches once per worker keeps contingency
+    scenarios as cheap as load-only ones.  Loads stay at the base-case values
+    — scenarios override them per solve.  Branch indices are bounds-checked
+    here (typed :class:`ValueError`) before they can reach NumPy fancy
+    indexing.
     """
     case: Case = state["case"]
     options: OPFOptions = state["options"]
-    cache: Dict[int, tuple] = state["outage_models"]
-    entry = cache.get(branch)
+    cache: Dict[Tuple[int, ...], tuple] = state["outage_models"]
+    entry = cache.get(branches)
     if entry is None:
+        validate_outage_branches(branches, case.n_branch)
+        label = "+".join(str(b) for b in branches)
         outage_case = case.with_loads(
-            case.bus.Pd, case.bus.Qd, name=f"{case.name}#out{branch}"
+            case.bus.Pd, case.bus.Qd, name=f"{case.name}#out{label}"
         )
-        outage_case.branch.status[branch] = 0
+        outage_case.branch.status[list(branches)] = 0
         entry = (outage_case, OPFModel(outage_case, flow_limits=options.flow_limits))
-        cache[branch] = entry
+        cache[branches] = entry
     return entry
 
 
@@ -318,19 +329,20 @@ def _solve_scenario(
     options: Optional[OPFOptions] = None,
     deadline: Optional[float] = None,
 ) -> OPFResult:
-    """Solve one scenario, honouring its N-1 branch outage when present.
+    """Solve one scenario, honouring its branch-outage set when present.
 
     Load-only scenarios reuse the persistent per-worker model; an outage
-    changes the network topology (admittances, rated-branch set), so those
-    scenarios get a dedicated case/model.  When the outage drops a rated
-    branch the inequality multipliers/slacks of a base-network warm start no
-    longer line up, so ``µ``/``Z`` fall back to solver defaults while the
-    primal point and equality multipliers are kept.
+    (single N-1 branch or a whole N-k set) changes the network topology
+    (admittances, rated-branch set), so those scenarios get a dedicated
+    case/model.  When the outage drops a rated branch the inequality
+    multipliers/slacks of a base-network warm start no longer line up, so
+    ``µ``/``Z`` fall back to solver defaults while the primal point and
+    equality multipliers are kept.
     """
     case: Case = state["case"]
     model: OPFModel = state["model"]
     options = options or state["options"]
-    if scenario.outage_branch is None:
+    if not scenario.outage_branches:
         return solve_opf(
             case,
             warm_start=warm,
@@ -340,7 +352,7 @@ def _solve_scenario(
             model=model,
             deadline=deadline,
         )
-    outage_case, outage_model = _outage_case_and_model(state, scenario.outage_branch)
+    outage_case, outage_model = _outage_case_and_model(state, scenario.outage_branches)
     if warm is not None and outage_model.n_ineq_nonlin != model.n_ineq_nonlin:
         warm = warm.masked(use_mu=False, use_z=False)
     return solve_opf(
@@ -354,19 +366,36 @@ def _solve_scenario(
     )
 
 
-def _batched_model_for(state: Dict[str, object], branch: Optional[int], model: OPFModel):
-    """Per-worker memo of batched evaluation models, keyed by outage branch."""
-    cache: Dict[Optional[int], BatchedOPFModel] = state["batched_models"]
-    batched = cache.get(branch)
+def _batched_model_for(
+    state: Dict[str, object], key: Tuple[int, ...], model: OPFModel
+):
+    """Per-worker memo of batched evaluation models, keyed by topology key."""
+    cache: Dict[Tuple[int, ...], BatchedOPFModel] = state["batched_models"]
+    batched = cache.get(key)
     if batched is None:
         batched = BatchedOPFModel(model)
-        cache[branch] = batched
+        cache[key] = batched
     return batched
+
+
+def _topology_groups(scenarios: Sequence[Scenario]) -> Dict[Tuple[int, ...], List[int]]:
+    """Group scenario positions by :func:`topology_key` (first-appearance order).
+
+    The one grouping rule shared by every solve path: the scheduler's
+    micro-batches (:func:`~repro.parallel.scheduler.make_microbatches`), the
+    static-chunk lockstep grouping and task bisection all call this (or
+    ``topology_key`` directly), so lockstep group membership cannot silently
+    diverge between the pool and the scheduler.
+    """
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    for pos, scenario in enumerate(scenarios):
+        groups.setdefault(topology_key(scenario), []).append(pos)
+    return groups
 
 
 def _lockstep_group(
     state: Dict[str, object],
-    branch: Optional[int],
+    key: Tuple[int, ...],
     scenarios: Sequence[Scenario],
     warm_starts: Sequence[Optional[WarmStart]],
     window: Optional[int] = None,
@@ -374,24 +403,26 @@ def _lockstep_group(
 ) -> List[OPFResult]:
     """Lockstep first attempts for a *topology-pure* scenario group.
 
-    Every scenario must share ``branch`` (its outage key); warm-start
-    ``µ``/``Z`` are masked on topology changes exactly like the scalar path.
-    ``window`` bounds the lockstep width (retire-and-refill streaming, see
+    Every scenario must share ``key`` (its sorted outage-branch tuple; ``()``
+    = the intact network); warm-start ``µ``/``Z`` are masked on topology
+    changes exactly like the scalar path.  ``window`` bounds the lockstep
+    width (retire-and-refill streaming, see
     :func:`repro.opf.batch.solve_opf_batch`).  ``deadline`` is a scalar or a
     per-scenario vector of absolute wall deadlines (``inf`` = unbounded),
     forwarded to the batch solver's per-row retirement checks.
     """
     options: OPFOptions = state["options"]
     base_model: OPFModel = state["model"]
-    if branch is None:
+    key = tuple(key or ())
+    if not key:
         case, model = state["case"], base_model
     else:
-        case, model = _outage_case_and_model(state, branch)
+        case, model = _outage_case_and_model(state, key)
     warms = []
     for warm in warm_starts:
         if (
             warm is not None
-            and branch is not None
+            and key
             and model.n_ineq_nonlin != base_model.n_ineq_nonlin
         ):
             warm = warm.masked(use_mu=False, use_z=False)
@@ -403,7 +434,7 @@ def _lockstep_group(
         warm_starts=warms,
         options=options,
         model=model,
-        batched=_batched_model_for(state, branch, model),
+        batched=_batched_model_for(state, key, model),
         window=window,
         deadline=deadline,
     )
@@ -426,12 +457,16 @@ def _lockstep_first_attempts(
 ) -> List[Optional[OPFResult]]:
     """First (warm) attempts for a worker batch, solved in lockstep.
 
-    Scenarios are grouped by topology — all load-only scenarios share the
-    base network, and N-1 scenarios share their outaged network per branch —
-    because only same-structure problems can march in lockstep.  Groups of
-    one fall back to the scalar path (a one-off topology gains nothing from
-    the batch machinery).  Warm-start ``µ``/``Z`` are masked on topology
-    changes exactly like the scalar path.
+    Scenarios are grouped by :func:`~repro.parallel.scheduler.topology_key`
+    (via :func:`_topology_groups`) — all load-only scenarios share the base
+    network, and outage scenarios share their outaged network per branch
+    *set* — because only same-structure problems can march in lockstep.
+    Grouping by the raw ``outage_branch`` view here used to silently diverge
+    from the scheduler's key for N-k scenarios (every k ≥ 2 scenario views as
+    ``None`` and would have joined the base-network group — solved on the
+    wrong topology).  Groups of one fall back to the scalar path (a one-off
+    topology gains nothing from the batch machinery).  Warm-start ``µ``/``Z``
+    are masked on topology changes exactly like the scalar path.
 
     ``skip`` marks positions already retired (expired deadlines).  Grouping
     and the scalar-vs-lockstep choice are still made over the *original* row
@@ -441,10 +476,8 @@ def _lockstep_first_attempts(
     """
     skip = skip or set()
     results: List[Optional[OPFResult]] = [None] * len(scenarios)
-    groups: Dict[Optional[int], List[int]] = {}
-    for pos, scenario in enumerate(scenarios):
-        groups.setdefault(scenario.outage_branch, []).append(pos)
-    for branch, positions in groups.items():
+    groups = _topology_groups(scenarios)
+    for key, positions in groups.items():
         live = [pos for pos in positions if pos not in skip]
         if not live:
             continue
@@ -457,7 +490,7 @@ def _lockstep_first_attempts(
             continue
         batch_results = _lockstep_group(
             state,
-            branch,
+            key,
             [scenarios[pos] for pos in live],
             [warm_starts[pos] for pos in live],
             deadline=None if deadlines is None else [deadlines[pos] for pos in live],
@@ -574,7 +607,7 @@ def _solve_batch_in_state(
 
 def _solve_keyed_group_in_state(
     state: Dict[str, object],
-    key: Optional[int],
+    key: Tuple[int, ...],
     scenarios: List[Scenario],
     warm_starts: List[Optional[WarmStart]],
     worker_id: int,
@@ -625,7 +658,8 @@ def _worker_identity() -> int:
 #: * ``positions`` — global sweep positions of the carried scenarios;
 #: * ``scenarios`` / ``warm_starts`` — the carried work, aligned with
 #:   ``positions``;
-#: * ``key`` — the topology key of a ``keyed_group`` task;
+#: * ``key`` — the topology key of a ``keyed_group`` task (the sorted
+#:   outage-branch tuple; ``()`` for the intact network);
 #: * ``worker_id`` — the worker label stamped on outcomes (``None`` = the
 #:   executing process's own identity, the steal-mode label);
 #: * ``window`` — optional lockstep window for ``keyed_group`` tasks;
@@ -640,7 +674,7 @@ def _worker_identity() -> int:
 def _make_task(
     kind: str,
     positions: Sequence[int],
-    key: Optional[int],
+    key: Optional[Tuple[int, ...]],
     scenarios: List[Scenario],
     warm_starts: List[Optional[WarmStart]],
     worker_id: Optional[int],
@@ -695,13 +729,13 @@ def _split_task(task: Dict[str, object]) -> Optional[List[Dict[str, object]]]:
         return None
     scenarios: List[Scenario] = task["scenarios"]
     warm_starts: List[Optional[WarmStart]] = task["warm_starts"]
-    groups: Dict[Optional[int], List[int]] = {}
+    groups: Dict[Tuple[int, ...], List[int]] = {}
     for i, scenario in enumerate(scenarios):
         groups.setdefault(topology_key(scenario), []).append(i)
 
     deadlines = _task_deadlines(task)
 
-    def fragment(local: List[int], kind: str, key: Optional[int]) -> Dict[str, object]:
+    def fragment(local: List[int], kind: str, key: Tuple[int, ...]) -> Dict[str, object]:
         return dict(
             task,
             kind=kind,
@@ -1131,9 +1165,7 @@ class SolverFleet:
             # amortisation) and let an explicit ``microbatch`` opt into
             # bounded retire-and-refill streaming.  Results are
             # window-invariant bit for bit either way.
-            grouped: Dict[Optional[int], List[int]] = {}
-            for position, scenario in enumerate(scenarios):
-                grouped.setdefault(topology_key(scenario), []).append(position)
+            grouped = _topology_groups(scenarios)
             tasks = [
                 _make_task(
                     "keyed_group", positions, key, scenarios, warm_starts,

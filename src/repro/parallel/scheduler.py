@@ -74,36 +74,45 @@ class MicroBatch:
 
     ``positions`` are indices into the flat scenario sequence the scheduler
     was given (NOT scenario ids — ids may collide across sweeps when several
-    are merged); ``key`` is the shared topology key of every member.
+    are merged); ``key`` is the shared topology key of every member (the
+    sorted outage-branch tuple; ``()`` for the intact network).
     """
 
-    key: Optional[int]
+    key: Tuple[int, ...]
     positions: Tuple[int, ...]
 
     def __len__(self) -> int:
         return len(self.positions)
 
 
-def topology_key(scenario: Scenario) -> Optional[int]:
-    """The network-topology key of a scenario (its outage branch, or ``None``).
+def topology_key(scenario: Scenario) -> Tuple[int, ...]:
+    """The network-topology key of a scenario: its sorted outage-branch tuple.
 
-    Scenarios with equal keys share admittances, sparsity patterns and bounds,
-    so they can be solved in one lockstep group by the batched MIPS kernels.
+    ``()`` is the intact network; ``(b,)`` an N-1 outage; ``(b1, b2)`` an N-2
+    pair, and so on — topology keys *compose*, so N-k scenarios group exactly
+    like N-1 ones.  Scenarios with equal keys share admittances, sparsity
+    patterns and bounds, so they can be solved in one lockstep group by the
+    batched MIPS kernels.  This is the **single source of truth** for
+    topology grouping: the scheduler's micro-batches and the pool workers'
+    lockstep groups both key on it (a divergence between the two silently
+    changes lockstep group membership).
     """
-    return scenario.outage_branch
+    return scenario.outage_branches
 
 
 def predicted_cost(scenario: Scenario, warm: Optional[WarmStart]) -> float:
     """Relative predicted solve cost of one scenario.
 
     A deliberately simple, deterministic heuristic: cold starts cost
-    :data:`COLD_COST_FACTOR` warm solves, outage scenarios pay
-    :data:`OUTAGE_COST_FACTOR` extra.  Case size scales every scenario of a
-    sweep equally, so it cancels out of the balancing decision.
+    :data:`COLD_COST_FACTOR` warm solves, and each outaged branch pays
+    :data:`OUTAGE_COST_FACTOR` — an N-k scenario costs the factor to the
+    power ``k`` (every dropped branch stresses the network a little more).
+    Case size scales every scenario of a sweep equally, so it cancels out of
+    the balancing decision.
     """
     cost = 1.0 if warm is not None else COLD_COST_FACTOR
-    if scenario.outage_branch is not None:
-        cost *= OUTAGE_COST_FACTOR
+    if scenario.outage_branches:
+        cost *= OUTAGE_COST_FACTOR ** len(scenario.outage_branches)
     return cost
 
 
@@ -170,7 +179,7 @@ def make_microbatches(
         microbatch = auto_microbatch_size(len(scenarios), n_workers)
     if microbatch < 1:
         raise ValueError("microbatch must be positive")
-    groups: Dict[Optional[int], List[int]] = {}
+    groups: Dict[Tuple[int, ...], List[int]] = {}
     for pos, scenario in enumerate(scenarios):
         groups.setdefault(topology_key(scenario), []).append(pos)
     batches: List[MicroBatch] = []

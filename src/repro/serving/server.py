@@ -236,7 +236,8 @@ class AsyncServer:
         rows = list(scenarios)
         if not rows:
             return self.engine.serve(
-                ScenarioSet(self.engine.case.name, []), n_workers=self.n_workers
+                ScenarioSet(self.engine.case.name, [], n_bus=self.engine.case.n_bus),
+                n_workers=self.n_workers,
             )
         request = self._admit(rows, deadline_seconds)
         return await request.future
@@ -333,7 +334,9 @@ class AsyncServer:
         deadline_vec = None
         if any(np.isfinite(deadline) for deadline in deadlines):
             deadline_vec = np.asarray(deadlines, dtype=float)
-        scenario_set = ScenarioSet(self.engine.case.name, combined)
+        scenario_set = ScenarioSet(
+            self.engine.case.name, combined, n_bus=self.engine.case.n_bus
+        )
         loop = asyncio.get_running_loop()
         try:
             sweep = await loop.run_in_executor(

@@ -234,6 +234,24 @@ def test_serve_empty_request_short_circuits(engine9, case9_fixture):
     assert loads.model_generation == engine9.generation
 
 
+def test_empty_scenario_set_feature_matrix_is_shape_correct(case9_fixture):
+    """`feature_matrix` on an empty set must not crash in ``np.vstack``.
+
+    Any caller that batches, slices or coalesces requests can produce an
+    empty set; carrying ``n_bus`` keeps the feature width shape-correct so
+    batched inference (and anything downstream) handles zero rows uniformly.
+    """
+    n_bus = case9_fixture.n_bus
+    empty = ScenarioSet(case9_fixture.name, [], n_bus=n_bus)
+    assert empty.feature_matrix(case9_fixture.base_mva).shape == (0, 2 * n_bus)
+    # Without n_bus there is nothing to infer from — degrade to width 0.
+    assert ScenarioSet(case9_fixture.name, []).feature_matrix(100.0).shape == (0, 0)
+    # Non-empty sets infer n_bus from their first scenario.
+    populated = generate_scenarios(case9_fixture, 2, seed=0)
+    assert populated.n_bus == n_bus
+    assert populated.feature_matrix(case9_fixture.base_mva).shape == (2, 2 * n_bus)
+
+
 def test_serve_empty_request_skips_health_machinery(trained_trainer9, case9_fixture):
     """An empty request must not feed the breaker (it served zero scenarios)."""
     breaker = CircuitBreaker(window=4, threshold=0.5, min_observations=2, cooldown=8)

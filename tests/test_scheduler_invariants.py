@@ -36,6 +36,7 @@ from repro.parallel import (
     make_microbatches,
     predicted_cost,
     run_scenario_sweep,
+    topology_key,
 )
 from repro.parallel.scheduler import COLD_COST_FACTOR, MicroBatch
 
@@ -102,7 +103,8 @@ def test_microbatches_topology_pure_and_exactly_once(outages, data):
     for mb in batches:
         assert isinstance(mb, MicroBatch)
         assert 1 <= len(mb) <= microbatch
-        assert {outages[pos] for pos in mb.positions} == {mb.key}
+        assert {topology_key(scenarios[pos]) for pos in mb.positions} == {mb.key}
+        assert mb.key == (() if outages[mb.positions[0]] is None else (outages[mb.positions[0]],))
 
 
 def test_auto_microbatch_size_oversubscribes():

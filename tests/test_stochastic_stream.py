@@ -1,0 +1,135 @@
+"""Stochastic load streams: correlated sampling and the streamed dataset path.
+
+Pins (a) the diffusion-kernel construction — PSD by construction, unit
+diagonal, correlations decaying with graph distance; (b) the bounded-factor
+guarantee; (c) bit-reproducibility of the stream from its seed, independent
+of how it is chopped into batches; and (d) the streamed ``generate_dataset``
+path producing bit-identical datasets to the materialised path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import generate_dataset
+from repro.grid import CorrelatedLoadSampler, case9, case14
+
+
+# ------------------------------------------------------------------- kernel
+def test_kernel_is_psd_unit_diagonal_and_distance_decaying():
+    case = case14()
+    sampler = CorrelatedLoadSampler(case, beta=1.0)
+    K = sampler.kernel
+    assert K.shape == (case.n_bus, case.n_bus)
+    assert np.allclose(K, K.T)
+    eigenvalues = np.linalg.eigvalsh(K)
+    assert np.all(eigenvalues > 0)  # nugget makes it strictly PD
+    assert np.allclose(np.diag(K), 1.0 + 1e-6)
+    # Adjacent buses correlate more strongly than distant ones: bus 0's
+    # neighbours (1, 4 — branches 1-2, 1-5) vs the far end of the feeder.
+    assert K[0, 1] > K[0, 13]
+    assert K[0, 4] > K[0, 13]
+
+
+def test_factors_are_bounded_and_zero_loads_stay_zero():
+    case = case9()
+    variation = 0.2
+    sampler = CorrelatedLoadSampler(case, variation=variation, beta=0.5)
+    samples = sampler.sample(64, seed=0)
+    zero = case.bus.Pd == 0
+    for sample in samples:
+        assert np.all(sample.Pd[zero] == 0.0)
+        loaded = ~zero
+        factors = sample.Pd[loaded] / case.bus.Pd[loaded]
+        assert np.all(factors > 1.0 - variation)
+        assert np.all(factors < 1.0 + variation)
+
+
+def test_sampler_validates_parameters():
+    case = case9()
+    with pytest.raises(ValueError, match="variation"):
+        CorrelatedLoadSampler(case, variation=-0.1)
+    with pytest.raises(ValueError, match="beta"):
+        CorrelatedLoadSampler(case, beta=-1.0)
+    with pytest.raises(ValueError, match="nugget"):
+        CorrelatedLoadSampler(case, nugget=0.0)
+    sampler = CorrelatedLoadSampler(case)
+    with pytest.raises(ValueError, match="batch"):
+        list(sampler.stream(4, batch=0))
+    with pytest.raises(ValueError, match="n_samples"):
+        sampler.sample(-1)
+
+
+# ----------------------------------------------------------- reproducibility
+def test_stream_bit_reproducible_and_batch_invariant():
+    case = case9()
+    sampler = CorrelatedLoadSampler(case, variation=0.1)
+    reference = sampler.sample(10, seed=42)
+    # Same seed → identical stream; different seed → different draws.
+    again = sampler.sample(10, seed=42)
+    other = sampler.sample(10, seed=43)
+    for a, b in zip(reference, again):
+        assert np.array_equal(a.Pd, b.Pd) and np.array_equal(a.Qd, b.Qd)
+    assert not np.array_equal(reference[0].Pd, other[0].Pd)
+    # Any batch chopping concatenates to the same stream, bit for bit.
+    for batch in (1, 3, 10, 100):
+        chopped = [s for block in sampler.stream(10, batch, seed=42) for s in block]
+        assert [s.scenario_id for s in chopped] == list(range(10))
+        for a, b in zip(reference, chopped):
+            assert np.array_equal(a.Pd, b.Pd) and np.array_equal(a.Qd, b.Qd)
+    # Per-scenario keying also means suffix draws don't depend on the prefix.
+    tail = sampler.sample(4, seed=42, start=6)
+    for a, b in zip(reference[6:], tail):
+        assert np.array_equal(a.Pd, b.Pd) and np.array_equal(a.Qd, b.Qd)
+
+
+def test_correlated_factors_follow_the_graph():
+    """Neighbouring loaded buses move together far more than distant ones."""
+    case = case14()
+    sampler = CorrelatedLoadSampler(case, variation=0.1, beta=1.0)
+    samples = sampler.sample(256, seed=7)
+    factors = np.stack([s.Pd / np.where(case.bus.Pd == 0, 1.0, case.bus.Pd) for s in samples])
+    # Buses 9 and 10 (0-indexed 9, 10) are adjacent; buses 1 and 13 are far.
+    near = np.corrcoef(factors[:, 9], factors[:, 10])[0, 1]
+    far = np.corrcoef(factors[:, 1], factors[:, 13])[0, 1]
+    assert near > far
+    assert near > 0.5
+
+
+# ------------------------------------------------------------ dataset stream
+def test_streamed_dataset_is_batch_invariant():
+    case = case9()
+    sampler = CorrelatedLoadSampler(case, variation=0.1)
+    whole = generate_dataset(case, 6, sampler=sampler, seed=11)
+    for stream_batch in (1, 2, 4):
+        chopped = generate_dataset(
+            case, 6, sampler=sampler, stream_batch=stream_batch, seed=11
+        )
+        assert np.array_equal(whole.inputs, chopped.inputs)
+        assert np.array_equal(whole.objectives, chopped.objectives)
+        assert np.array_equal(whole.iterations, chopped.iterations)
+        for task in whole.targets:
+            assert np.array_equal(whole.targets[task], chopped.targets[task])
+
+
+def test_streamed_uniform_path_matches_materialised_path():
+    """`stream_batch` without a sampler replays the classic uniform draws."""
+    case = case9()
+    materialised = generate_dataset(case, 6, seed=5)
+    streamed = generate_dataset(case, 6, seed=5, stream_batch=2)
+    assert np.array_equal(materialised.inputs, streamed.inputs)
+    assert np.array_equal(materialised.objectives, streamed.objectives)
+    for task in materialised.targets:
+        assert np.array_equal(materialised.targets[task], streamed.targets[task])
+
+
+def test_streamed_dataset_validates_inputs():
+    case9_ = case9()
+    sampler14 = CorrelatedLoadSampler(case14())
+    with pytest.raises(ValueError, match="stream_batch"):
+        generate_dataset(case9_, 4, stream_batch=0)
+    with pytest.raises(ValueError, match="bus"):
+        generate_dataset(case9_, 4, sampler=sampler14)
+    with pytest.raises(ValueError, match="integer"):
+        generate_dataset(case9_, 4, sampler=CorrelatedLoadSampler(case9_), seed=np.random.default_rng(0))
